@@ -1,0 +1,44 @@
+"""Ablation — event-driven vs levelised (fast) timing engines.
+
+The event engine is the reference (glitch-accurate); the fast engine
+assumes one transition per net.  Measures the speedup and the energy
+under-count on real patterns.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ScapCalculator
+
+
+def test_ablation_timing_engines(benchmark, study):
+    patterns = list(study.conventional().pattern_set)[:16]
+    event_calc = study.calculator
+    fast_calc = ScapCalculator(study.design, study.domain, engine="fast")
+
+    def run_fast():
+        return [fast_calc.profile_pattern(p) for p in patterns]
+
+    fast_profiles = benchmark.pedantic(run_fast, rounds=1, iterations=1)
+
+    t0 = time.perf_counter()
+    event_profiles = [event_calc.profile_pattern(p) for p in patterns]
+    event_s = time.perf_counter() - t0
+
+    ratios = [
+        f.energy_fj_total / max(e.energy_fj_total, 1e-9)
+        for e, f in zip(event_profiles, fast_profiles)
+    ]
+    print()
+    print(
+        f"engines on {len(patterns)} patterns: event {event_s*1000:.0f} ms "
+        f"total; fast captures {np.mean(ratios):.1%} of event energy "
+        f"(hazard power is the gap)"
+    )
+    for e, f in zip(event_profiles, fast_profiles):
+        assert f.energy_fj_total <= e.energy_fj_total * 1.0001
+        assert f.n_transitions <= e.n_transitions
+    assert np.mean(ratios) > 0.4  # fast engine is a usable screen

@@ -1,0 +1,42 @@
+"""ATPG flow timing: conventional vs staged generation from scratch.
+
+Run at the tiny scale so the measured region is an entire ATPG flow
+(PODEM + compaction + fault simulation + fill) without doubling the
+session's shared-scale cost.
+"""
+
+from __future__ import annotations
+
+from repro.core import ConventionalFlow, NoiseAwarePatternGenerator
+
+
+def test_atpg_conventional_flow(benchmark, tiny_study):
+    design = tiny_study.design
+
+    def run():
+        return ConventionalFlow(design, seed=1).run()
+
+    flow = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"conventional: {flow.n_patterns} patterns, "
+        f"coverage {flow.test_coverage:.1%}"
+    )
+    assert flow.test_coverage > 0.5
+
+
+def test_atpg_staged_flow(benchmark, tiny_study):
+    design = tiny_study.design
+
+    def run():
+        return NoiseAwarePatternGenerator(design, seed=1).run()
+
+    flow = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        f"staged: {flow.n_patterns} patterns, "
+        f"coverage {flow.test_coverage:.1%}, "
+        f"boundaries {flow.step_boundaries}"
+    )
+    assert flow.test_coverage > 0.5
+    assert len(flow.step_results) == 3

@@ -1,0 +1,64 @@
+"""Extension — volume diagnosis accuracy.
+
+Injects random detected transition faults as 'defective chips', logs
+their tester syndromes under the conventional pattern set, and measures
+how often cause-effect diagnosis pinpoints the injected site.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atpg import (
+    TransitionFaultDiagnoser,
+    build_fault_universe,
+    collapse_faults,
+)
+from repro.reporting import format_table
+
+
+def test_ext_diagnosis_accuracy(benchmark, tiny_study):
+    study = tiny_study
+    design = study.design
+    patterns = study.conventional().pattern_set
+    diagnoser = TransitionFaultDiagnoser(design.netlist, study.domain)
+    reps, _ = collapse_faults(
+        design.netlist, build_fault_universe(design.netlist)
+    )
+    flow = study.conventional()
+    detected = [
+        f for r in flow.step_results for f in r.detected
+    ]
+    rng = np.random.default_rng(1)
+    picks = [detected[int(i)]
+             for i in rng.choice(len(detected), size=15, replace=False)]
+
+    def run():
+        stats = {"top1": 0, "exact_contains": 0, "mean_candidates": 0.0}
+        counts = []
+        for truth in picks:
+            syndrome = diagnoser.observe(patterns, truth)
+            result = diagnoser.diagnose(patterns, syndrome, reps)
+            counts.append(len(result.candidates))
+            if result.best() and result.best().fault == truth:
+                stats["top1"] += 1
+            if any(c.fault == truth for c in result.exact_matches()):
+                stats["exact_contains"] += 1
+        stats["mean_candidates"] = float(np.mean(counts))
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [
+            {
+                "injected_chips": len(picks),
+                "truth_in_exact_matches": stats["exact_contains"],
+                "truth_ranked_first": stats["top1"],
+                "mean_candidates_reported": stats["mean_candidates"],
+            }
+        ],
+        title="Cause-effect diagnosis accuracy:",
+    ))
+    assert stats["exact_contains"] == len(picks)
+    assert stats["top1"] >= len(picks) // 2

@@ -1,0 +1,49 @@
+"""Extension — faster-than-at-speed binning with IR awareness (the
+authors' companion ICCAD'06 work, their reference [20]).
+
+Most transition patterns exercise paths far shorter than the functional
+cycle, so they can be applied faster than at-speed to catch small delay
+defects; per-pattern IR-drop eats into that headroom.
+"""
+
+from __future__ import annotations
+
+from repro.core import ftas_analysis
+from repro.reporting import format_table
+
+
+def test_ext_ftas_binning(benchmark, study):
+    patterns = study.conventional().pattern_set
+
+    def run():
+        return ftas_analysis(
+            study.calculator, study.model, patterns, sample=12
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    nominal_freq = 1000.0 / report.nominal_period_ns
+    freqs = [nominal_freq * m for m in (1.0, 1.25, 1.5, 2.0)]
+    rows = []
+    for label, ir_aware in (("nominal", False), ("ir_aware", True)):
+        bins = report.bin_patterns(freqs, ir_aware=ir_aware)
+        rows.append(
+            {
+                "delays": label,
+                **{f"{f:.0f}MHz": bins[f] for f in sorted(bins)},
+            }
+        )
+    print()
+    print(format_table(rows, title="FTAS frequency bins (pattern counts):"))
+    print(
+        f"mean IR headroom loss: {report.mean_headroom_loss_pct():.1f}% "
+        f"of the safe period"
+    )
+
+    assert report.patterns
+    assert report.mean_headroom_loss_pct() >= 0.0
+    # Many patterns are overclockable at nominal delays.
+    top = report.bin_patterns(freqs, ir_aware=False)
+    overclockable = sum(
+        count for f, count in top.items() if f > nominal_freq
+    )
+    assert overclockable >= len(report.patterns) // 2

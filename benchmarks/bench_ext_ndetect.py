@@ -1,0 +1,55 @@
+"""Extension — N-detect vs supply noise.
+
+N-detect test sets catch more un-modelled defects but multiply pattern
+count *and* total switching delivered to the die.  This bench measures
+the quality-vs-noise trade the paper's methodology would have to manage
+in an N-detect flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atpg import AtpgEngine
+from repro.core import validate_pattern_set
+from repro.reporting import format_table
+
+
+def test_ext_ndetect_noise_cost(benchmark, tiny_study):
+    study = tiny_study
+    design = study.design
+
+    def run():
+        out = {}
+        for n in (1, 2, 3):
+            engine = AtpgEngine(
+                design.netlist, design.dominant_domain(),
+                scan=design.scan, seed=4,
+            )
+            out[n] = engine.run(fill="random", n_detect=n)
+        return out
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n, res in runs.items():
+        report = validate_pattern_set(
+            study.calculator, res.pattern_set, study.thresholds_mw
+        )
+        series = report.scap_series("B5")
+        rows.append(
+            {
+                "n_detect": n,
+                "patterns": res.n_patterns,
+                "coverage": res.test_coverage,
+                "violations_B5": len(report.violating_patterns("B5")),
+                "total_B5_energy_mWns": float(
+                    sum(p.energy_fj("B5") for p in report.profiles)
+                ) * 1e-3,
+            }
+        )
+    print()
+    print(format_table(rows, title="N-detect vs noise:"))
+
+    assert runs[3].n_patterns > runs[1].n_patterns
+    # Total switching delivered to B5 grows with N.
+    assert rows[2]["total_B5_energy_mWns"] > rows[0]["total_B5_energy_mWns"]

@@ -1,0 +1,100 @@
+"""Extension — path-delay testing under supply noise (the paper's
+reference [19] scenario).
+
+Krstic et al. showed that power-supply noise *along the tested path*
+lengthens its delay; the fill of the path test's don't-care bits
+controls that noise.  This bench generates non-robust tests for paths
+extracted from real pattern simulations, fills each test cube two ways
+(random vs 0), and measures the tested endpoint's IR-scaled delay under
+both — the noisy fill slows the very path being measured.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.atpg import generate_path_test, path_from_timing
+from repro.atpg.fill import apply_fill, care_mask
+from repro.atpg.patterns import Pattern
+from repro.atpg.twoframe import TwoFrameState
+from repro.core.irscale import ir_scaled_endpoint_comparison
+from repro.reporting import format_table
+
+
+def _capture_flop(netlist, path):
+    d_net = path.nets(netlist)[-1]
+    return netlist.flop_d_loads_of(d_net)[0]
+
+
+def test_ext_path_delay_noise(benchmark, tiny_study):
+    study = tiny_study
+    netlist = study.design.netlist
+    calc = study.calculator
+    state = TwoFrameState(netlist, "clka")
+    patterns = study.conventional().pattern_set
+
+    # Extract sensitizable paths from real simulations.
+    paths = []
+    for pattern in list(patterns)[:16]:
+        timing = calc.simulate_pattern(pattern.v1_dict())
+        eps = [
+            (fi, float(timing.last_arrival_ns[netlist.flops[fi].d]))
+            for fi in calc.launch_time
+        ]
+        eps = [(fi, a) for fi, a in eps if not math.isnan(a)]
+        if not eps:
+            continue
+        worst = max(eps, key=lambda t: t[1])[0]
+        path = path_from_timing(netlist, timing, worst)
+        if path is not None and len(path.gates) >= 3:
+            paths.append(path)
+
+    def run():
+        rng = np.random.default_rng(3)
+        rows = []
+        for path in paths[:6]:
+            result = None
+            for transition in ("rise", "fall"):
+                candidate = generate_path_test(
+                    state, path, transition, max_backtracks=150
+                )
+                if candidate.success:
+                    result = candidate
+                    break
+            if result is None:
+                continue
+            capture = _capture_flop(netlist, path)
+            delays = {}
+            for fill in ("random", "0"):
+                v1 = apply_fill(result.cube, netlist.n_flops, fill,
+                                scan=study.design.scan, rng=rng)
+                pattern = Pattern(0, v1,
+                                  care_mask(result.cube, netlist.n_flops),
+                                  "clka", fill)
+                comp = ir_scaled_endpoint_comparison(
+                    calc, study.model, pattern
+                )
+                delays[fill] = comp.scaled_ns.get(capture, 0.0)
+            if delays.get("random", 0) and delays.get("0", 0):
+                rows.append(
+                    {
+                        "path_gates": len(path.gates),
+                        "ir_delay_random_fill_ns": delays["random"],
+                        "ir_delay_fill0_ns": delays["0"],
+                        "noise_penalty_ns": delays["random"] - delays["0"],
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        rows,
+        title="Tested-path IR-scaled delay by fill (non-robust path tests):",
+    ))
+    assert rows, "no successful path tests"
+    penalties = [r["noise_penalty_ns"] for r in rows]
+    # On average, the noisy fill slows the tested path itself.
+    assert float(np.mean(penalties)) > 0.0

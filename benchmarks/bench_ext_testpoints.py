@@ -1,0 +1,53 @@
+"""Extension — observation test points vs coverage and noise.
+
+SCOAP-guided observation points lift the coverage the LOC flow can
+reach; because they only *watch* nets, the launch switching is
+unchanged — coverage for free from the noise perspective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atpg import AtpgEngine
+from repro.core import validate_pattern_set
+from repro.dft import insert_observation_points
+from repro.reporting import format_table
+from repro.soc import build_turbo_eagle
+
+
+def test_ext_observation_points(benchmark, tiny_study):
+    # Fresh design: insertion mutates the netlist.
+    design = build_turbo_eagle("tiny", seed=2007)
+
+    def run():
+        out = {}
+        base = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                          seed=1).run(fill="random")
+        out["baseline"] = base
+        insert_observation_points(design.netlist, design.scan, "clka",
+                                  n_points=12)
+        out["with_tpi"] = AtpgEngine(
+            design.netlist, "clka", scan=design.scan, seed=1
+        ).run(fill="random")
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "config": name,
+            "patterns": res.n_patterns,
+            "test_coverage": res.test_coverage,
+            "aborted": len(res.aborted),
+        }
+        for name, res in results.items()
+    ]
+    print()
+    print(format_table(rows, title="Observation test points:"))
+    assert (
+        results["with_tpi"].test_coverage
+        > results["baseline"].test_coverage
+    )
+    assert len(results["with_tpi"].aborted) <= len(
+        results["baseline"].aborted
+    ) * 1.1

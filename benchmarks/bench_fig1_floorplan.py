@@ -1,0 +1,14 @@
+"""Figure 1 — the SOC floorplan (B1–B6, B5 central)."""
+
+from __future__ import annotations
+
+
+def test_fig1_floorplan(benchmark, study):
+    art = benchmark.pedantic(study.figure1, rounds=1, iterations=1)
+    print()
+    print("Figure 1: floorplan (digits = block id)")
+    print(art)
+    for digit in "123456":
+        assert digit in art
+    fp = study.design.floorplan
+    assert fp.block_at(*fp.center) == "B5"

@@ -1,0 +1,48 @@
+"""Figure 2 — per-pattern SCAP in block B5, conventional random fill.
+
+The measured region is the full SCAP screening (gate-level timing
+simulation of every pattern — the paper's PLI loop).  Shape check: a
+substantial fraction of conventional patterns exceeds the block's
+statistical threshold (paper: 2253/5846 ≈ 39 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import validate_pattern_set
+
+
+def test_fig2_conventional_scap(benchmark, study):
+    flow = study.conventional()
+
+    def screen():
+        return validate_pattern_set(
+            study.calculator, flow.pattern_set, study.thresholds_mw
+        )
+
+    report = benchmark.pedantic(screen, rounds=1, iterations=1)
+    series = report.scap_series("B5")
+    threshold = study.thresholds_mw["B5"]
+    violators = report.violating_patterns("B5")
+    print()
+    print(
+        f"Figure 2: conventional flow, {len(series)} patterns, "
+        f"B5 threshold {threshold:.2f} mW"
+    )
+    print(
+        f"  SCAP(B5) min/median/max: {series.min():.2f} / "
+        f"{np.median(series):.2f} / {series.max():.2f} mW"
+    )
+    print(
+        f"  {len(violators)} patterns above threshold "
+        f"({len(violators)/len(series):.1%}; paper: 38.5%)"
+    )
+    # Random-fill patterns must overshoot the threshold.  The violating
+    # *fraction* is design-character-dependent (see EXPERIMENTS.md): it
+    # shrinks with design scale because PODEM's hold-path justification
+    # biases the load-enable bits low; the paper's industrial design
+    # sat at 38.5 %.  The invariant is that violators exist and the
+    # distribution's tail clearly exceeds the limit.
+    assert len(violators) >= 1
+    assert series.max() > 1.2 * threshold

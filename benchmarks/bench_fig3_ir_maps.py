@@ -1,0 +1,30 @@
+"""Figure 3 — dynamic IR-drop maps for patterns P1 (worst SCAP) and P2
+(near-threshold).
+
+Shape checks: P1's worst average drop exceeds P2's, and P1's "red"
+region (> 10 % VDD) is at least as large (paper: 0.28 V vs 0.19 V).
+"""
+
+from __future__ import annotations
+
+from repro.pgrid import render_ir_map
+
+
+def test_fig3_ir_drop_maps(benchmark, study):
+    result = benchmark.pedantic(study.figure3, rounds=1, iterations=1)
+    print()
+    for label in ("P1", "P2"):
+        data = result[label]
+        print(
+            f"{label}: pattern #{data['pattern_index']}, "
+            f"SCAP(B5) {data['scap_mw_b5']:.2f} mW, "
+            f"worst VDD {data['worst_drop_vdd_v']*1000:.0f} mV, "
+            f"worst VSS {data['worst_drop_vss_v']*1000:.0f} mV, "
+            f"red {data['red_fraction']:.1%}"
+        )
+        print(render_ir_map(study.model.vdd_grid, data["ir"].drop_vdd))
+
+    p1, p2 = result["P1"], result["P2"]
+    assert p1["scap_mw_b5"] >= p2["scap_mw_b5"]
+    assert p1["worst_drop_vdd_v"] >= p2["worst_drop_vdd_v"]
+    assert p1["red_fraction"] >= p2["red_fraction"]

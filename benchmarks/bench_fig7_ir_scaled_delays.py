@@ -1,0 +1,42 @@
+"""Figure 7 — endpoint path delays, nominal vs IR-drop-scaled cell
+delays, for one below-threshold B5 pattern.
+
+Shape checks (paper): some endpoints get slower (Region 1, up to ~30 %
+in the paper), and path delays measured against each endpoint's own
+(late) capture clock may *decrease* (Region 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def test_fig7_ir_scaled_endpoint_delays(benchmark, study):
+    comp = benchmark.pedantic(study.figure7, rounds=1, iterations=1)
+    deltas = comp.deltas()
+    region1 = comp.region1()
+    region2 = comp.region2()
+    print()
+    print(
+        f"Figure 7: pattern #{comp.pattern_index}; "
+        f"{len(deltas)} active endpoints, "
+        f"{len(region1)} slowed (Region 1), "
+        f"{len(region2)} apparently faster (Region 2)"
+    )
+    print(
+        f"  worst droop {comp.ir.worst_vdd_v*1000:.0f} mV VDD + "
+        f"{comp.ir.worst_vss_v*1000:.0f} mV VSS; "
+        f"max endpoint slowdown {comp.max_increase_pct():.1f}% "
+        f"(paper: up to ~30%)"
+    )
+    if region1:
+        worst = max(region1, key=lambda fi: deltas[fi])
+        name = study.design.netlist.flops[worst].name
+        print(
+            f"  worst endpoint {name}: "
+            f"{comp.nominal_ns[worst]:.2f} -> {comp.scaled_ns[worst]:.2f} ns"
+        )
+
+    assert deltas, "no active endpoints"
+    assert region1, "IR-drop slowed nothing"
+    assert 0 < comp.max_increase_pct() < 100.0

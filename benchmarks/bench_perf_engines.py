@@ -1,0 +1,65 @@
+"""Raw engine throughput (the systems numbers a downstream user needs
+to budget their own runs)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.atpg import FaultSimulator, build_fault_universe
+from repro.reporting import format_table
+from repro.sim import LogicSim, loc_launch_capture
+
+
+def test_perf_logic_and_fault_sim(benchmark, study):
+    design = study.design
+    nl = design.netlist
+    domain = study.domain
+    rng = np.random.default_rng(0)
+    n_pat = 64
+    v1 = rng.integers(0, 2, size=(n_pat, nl.n_flops), dtype=np.uint8)
+    faults = build_fault_universe(nl)
+    fsim = FaultSimulator(nl, domain)
+    sim = LogicSim(nl)
+    packed, mask = fsim.pack(v1)
+
+    def run_fsim():
+        return fsim.run(v1, faults)
+
+    t0 = time.perf_counter()
+    detections = benchmark.pedantic(run_fsim, rounds=1, iterations=1)
+    fsim_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(5):
+        loc_launch_capture(sim, packed, domain, mask=mask)
+    logic_s = (time.perf_counter() - t0) / 5
+
+    t0 = time.perf_counter()
+    study.calculator.profile_pattern(
+        {fi: int(v1[0, fi]) for fi in range(nl.n_flops)}, index=0
+    )
+    timing_s = time.perf_counter() - t0
+
+    rows = [
+        {
+            "engine": "bit-parallel logic (64-pattern LOC cycle)",
+            "throughput": f"{n_pat / logic_s:,.0f} patterns/s",
+        },
+        {
+            "engine": "fault simulation (64 patterns, full universe)",
+            "throughput": f"{len(faults) * n_pat / max(1e-9, fsim_s):,.0f}"
+                          " fault-patterns/s",
+        },
+        {
+            "engine": "event-driven timing (1 pattern)",
+            "throughput": f"{1000 * timing_s:.1f} ms/pattern",
+        },
+    ]
+    print()
+    print(format_table(rows, title=f"Engine throughput "
+                                   f"({nl.n_gates} gates, "
+                                   f"{len(faults)} faults):"))
+    print(f"fault sim detected {len(detections)} faults in the batch")
+    assert detections

@@ -1,0 +1,32 @@
+"""Table 1 — design characteristics.
+
+Regenerates the SOC from scratch and reports the paper's Table-1 rows
+(clock domains, scan chains, scan flops, negative-edge flops, TDF
+universe size).  The measured time is the full design generation:
+floorplan, blocks, bus fabric, clock trees, scan insertion and fault
+universe construction.
+"""
+
+from __future__ import annotations
+
+from repro import CaseStudy
+from repro.reporting import format_table
+
+from conftest import bench_scale
+
+
+def _regenerate():
+    study = CaseStudy(scale=bench_scale(), seed=2007)
+    return study.table1()
+
+
+def test_table1_design_characteristics(benchmark):
+    table = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [{"metric": k, "value": v} for k, v in table.items()],
+        title="Table 1: design characteristics",
+    ))
+    assert table["clock_domains"] == 6
+    assert table["transition_delay_faults"] > 0
+    assert table["negative_edge_scan_flops"] > 0

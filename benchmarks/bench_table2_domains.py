@@ -1,0 +1,16 @@
+"""Table 2 — clock-domain analysis (flops per domain, frequency,
+blocks covered; clka dominant)."""
+
+from __future__ import annotations
+
+from repro.reporting import format_table
+
+
+def test_table2_clock_domains(benchmark, study):
+    rows = benchmark.pedantic(study.table2, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 2: clock domain analysis"))
+    by_name = {r["clock_domain"]: r for r in rows}
+    total = sum(r["scan_cells"] for r in rows)
+    assert by_name["clka"]["scan_cells"] / total > 0.6  # dominant domain
+    assert by_name["clka"]["blocks_covered"] == "B1,B2,B3,B4,B5,B6"

@@ -1,0 +1,51 @@
+"""Table 3 — statistical (vectorless) IR-drop per block.
+
+Case 1 averages over the full clock period, Case 2 over the half-cycle
+switching window.  Shape checks: power roughly doubles per block, B5 is
+the dominant power and worst-IR block, and B5's drop rises the most in
+absolute terms when the window is halved.
+"""
+
+from __future__ import annotations
+
+from repro.reporting import format_table
+
+
+def test_table3_statistical_ir(benchmark, study):
+    result = benchmark.pedantic(study.table3, rounds=1, iterations=1)
+    print()
+    for label, rows in result.items():
+        print(format_table(
+            [
+                {
+                    "block": r.block,
+                    "window_ns": r.window_ns,
+                    "avg_power_mW": r.avg_power_mw,
+                    "worst_VDD_V": r.worst_drop_vdd_v,
+                    "worst_VSS_V": r.worst_drop_vss_v,
+                }
+                for r in rows
+            ],
+            title=f"Table 3 ({label}):",
+        ))
+
+    case1 = {r.block: r for r in result["case1_full_cycle"]}
+    case2 = {r.block: r for r in result["case2_half_cycle"]}
+    blocks = [b for b in case1 if b != "Chip"]
+
+    # Average switching power ~doubles when the window is halved.
+    for block in blocks:
+        ratio = case2[block].avg_power_mw / case1[block].avg_power_mw
+        assert 1.5 < ratio < 2.5, (block, ratio)
+
+    # B5 dominates power and worst IR-drop in both cases.
+    for case in (case1, case2):
+        assert max(blocks, key=lambda b: case[b].avg_power_mw) == "B5"
+        assert max(blocks, key=lambda b: case[b].worst_drop_vdd_v) == "B5"
+
+    # B5 sees the largest absolute drop increase (central block).
+    increases = {
+        b: case2[b].worst_drop_vdd_v - case1[b].worst_drop_vdd_v
+        for b in blocks
+    }
+    assert max(increases, key=increases.get) == "B5"

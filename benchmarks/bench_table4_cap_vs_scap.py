@@ -1,0 +1,28 @@
+"""Table 4 — CAP vs SCAP power and worst IR-drop for one pattern.
+
+Shape checks (paper: SCAP > 2x CAP because the STW is about half the
+cycle; worst average IR-drop roughly doubles under the SCAP window).
+"""
+
+from __future__ import annotations
+
+from repro.reporting import format_table
+
+
+def test_table4_cap_vs_scap(benchmark, study):
+    table = benchmark.pedantic(study.table4, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        [{"model": name, **vals} for name, vals in table.items()],
+        title="Table 4: CAP vs SCAP for one conventional pattern",
+    ))
+    cap, scap = table["CAP"], table["SCAP"]
+    power_ratio = scap["avg_power_mw"] / cap["avg_power_mw"]
+    drop_ratio = scap["worst_drop_vdd_v"] / max(cap["worst_drop_vdd_v"], 1e-9)
+    print(f"SCAP/CAP power ratio: {power_ratio:.2f}x "
+          f"(paper ~2.4x); worst-drop ratio {drop_ratio:.2f}x")
+    assert power_ratio > 1.5
+    assert scap["worst_drop_vdd_v"] >= cap["worst_drop_vdd_v"]
+    assert scap["window_ns"] < cap["window_ns"]
+    # VSS bounce slightly exceeds VDD drop (as in the paper's table).
+    assert scap["worst_drop_vss_v"] > scap["worst_drop_vdd_v"]

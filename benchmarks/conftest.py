@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+The benchmark scale defaults to ``small`` (a full run in a few minutes);
+set ``REPRO_BENCH_SCALE=bench`` to regenerate the EXPERIMENTS.md numbers
+at the larger calibration scale, or ``tiny`` for a smoke run.
+
+The expensive shared state (the two generation flows and their SCAP
+validations) is prepared once per session *outside* the measured
+regions; each benchmark then measures the regeneration of its own
+table/figure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import CaseStudy
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture(scope="session")
+def study() -> CaseStudy:
+    """Case study with both flows and validations pre-computed."""
+    cs = CaseStudy(scale=bench_scale(), seed=2007, backtrack_limit=100)
+    cs.conventional()
+    cs.staged()
+    cs.validation("conventional")
+    cs.validation("staged")
+    return cs
+
+
+@pytest.fixture(scope="session")
+def tiny_study() -> CaseStudy:
+    """A tiny case study for benchmarks that re-run whole ATPG flows."""
+    return CaseStudy(scale="tiny", seed=2007, backtrack_limit=60)

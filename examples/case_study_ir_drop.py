@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The paper's Section 2 case study: statistical and dynamic IR-drop.
+
+Reproduces, on the synthetic SOC:
+
+* Table 1 / Table 2 — design and clock-domain characteristics,
+* Table 3 — vectorless statistical IR-drop per block, full-cycle
+  (Case 1) vs half-cycle (Case 2) windows,
+* Table 4 — CAP vs SCAP power and IR-drop for one pattern,
+* Figure 3 — dynamic IR-drop maps of the worst (P1) and near-threshold
+  (P2) conventional patterns.
+
+Run:  python examples/case_study_ir_drop.py [tiny|small|bench]
+"""
+
+import sys
+
+from repro import CaseStudy
+from repro.pgrid import render_ir_map
+from repro.reporting import format_table
+
+
+def main(scale: str = "tiny") -> None:
+    study = CaseStudy(scale=scale)
+
+    print("== Table 1: design characteristics ==")
+    t1 = study.table1()
+    print(format_table([{"metric": k, "value": v} for k, v in t1.items()]))
+
+    print("\n== Table 2: clock domain analysis ==")
+    print(format_table(study.table2()))
+
+    print("\n== Table 3: statistical IR-drop (30% toggle rate) ==")
+    t3 = study.table3()
+    for label, rows in t3.items():
+        print(f"\n   {label}:")
+        print(
+            format_table(
+                [
+                    {
+                        "block": r.block,
+                        "window_ns": r.window_ns,
+                        "avg_power_mW": r.avg_power_mw,
+                        "worst_VDD_drop_V": r.worst_drop_vdd_v,
+                        "worst_VSS_bounce_V": r.worst_drop_vss_v,
+                    }
+                    for r in rows
+                ]
+            )
+        )
+
+    print("\n== Table 4: CAP vs SCAP for one conventional pattern ==")
+    t4 = study.table4()
+    print(
+        format_table(
+            [
+                {"model": name, **values}
+                for name, values in t4.items()
+            ]
+        )
+    )
+    ratio = t4["SCAP"]["avg_power_mw"] / t4["CAP"]["avg_power_mw"]
+    print(f"   SCAP/CAP power ratio: {ratio:.2f}x (paper: >2x)")
+
+    print("\n== Figure 3: dynamic IR-drop maps, P1 (worst) vs P2 ==")
+    f3 = study.figure3()
+    for label, data in f3.items():
+        print(
+            f"\n   {label}: pattern #{data['pattern_index']}, "
+            f"SCAP(B5) {data['scap_mw_b5']:.2f} mW, "
+            f"STW {data['stw_ns']:.2f} ns, "
+            f"worst VDD drop {data['worst_drop_vdd_v']*1000:.0f} mV, "
+            f"red region {data['red_fraction']:.1%} of die"
+        )
+        print(
+            render_ir_map(
+                study.model.vdd_grid,
+                data["ir"].drop_vdd,
+                title=f"   VDD IR-drop map ({label}):",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tiny")

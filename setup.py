@@ -1,0 +1,8 @@
+"""Thin setup.py kept for environments without the `wheel` package,
+where `pip install -e .` (PEP 660) cannot build an editable wheel.
+Falls back to: python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — supply-voltage-noise-aware transition delay fault ATPG.
+
+A full open-source reproduction of Ahmed, Tehranipoor & Jayaram,
+"Transition Delay Fault Test Pattern Generation Considering Supply
+Voltage Noise in a SOC Design" (DAC 2007): a synthetic industrial-style
+SOC, a gate-level timing simulator, a LOC transition-fault ATPG with
+configurable don't-care fill, power-grid IR-drop analysis, the SCAP
+power metric and the staged noise-tolerant pattern-generation flow.
+
+Quickstart
+----------
+>>> from repro import CaseStudy
+>>> study = CaseStudy(scale="tiny")
+>>> study.headline_comparison()  # doctest: +SKIP
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .config import ElectricalEnv, K_VOLT, VDD_NOMINAL
+from .core import (
+    CaseStudy,
+    ConventionalFlow,
+    NoiseAwarePatternGenerator,
+    derive_scap_thresholds,
+    ir_scaled_endpoint_comparison,
+    validate_pattern_set,
+)
+from .power import PatternPowerProfile, ScapCalculator
+from .soc import SocDesign, build_turbo_eagle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaseStudy",
+    "ConventionalFlow",
+    "ElectricalEnv",
+    "K_VOLT",
+    "NoiseAwarePatternGenerator",
+    "PatternPowerProfile",
+    "ScapCalculator",
+    "SocDesign",
+    "VDD_NOMINAL",
+    "build_turbo_eagle",
+    "derive_scap_thresholds",
+    "ir_scaled_endpoint_comparison",
+    "validate_pattern_set",
+    "__version__",
+]

@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``casestudy``   run the whole paper reproduction and print the headline,
+``table``       print one of the paper's tables (1, 2, 3, 4),
+``atpg``        generate patterns and optionally write them as STIL,
+``scap``        screen a STIL pattern file against SCAP thresholds,
+``irmap``       print the dynamic IR-drop map of one pattern,
+``floorplan``   print the synthetic SOC floorplan.
+
+Every command accepts ``--scale`` (tiny/small/bench/full) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import CaseStudy
+from .reporting import format_table
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small", "bench", "full"])
+    parser.add_argument("--seed", type=int, default=2007)
+
+
+def _study(args) -> CaseStudy:
+    return CaseStudy(scale=args.scale, seed=args.seed)
+
+
+def cmd_casestudy(args) -> int:
+    study = _study(args)
+    hc = study.headline_comparison()
+    rows = [{"metric": k, "value": v} for k, v in hc.items()]
+    print(format_table(rows, title="DAC'07 reproduction headline:"))
+    return 0
+
+
+def cmd_table(args) -> int:
+    study = _study(args)
+    if args.number == 1:
+        print(format_table(
+            [{"metric": k, "value": v} for k, v in study.table1().items()]
+        ))
+    elif args.number == 2:
+        print(format_table(study.table2()))
+    elif args.number == 3:
+        for label, rows in study.table3().items():
+            print(format_table(
+                [
+                    {
+                        "block": r.block,
+                        "avg_power_mW": r.avg_power_mw,
+                        "worst_VDD_V": r.worst_drop_vdd_v,
+                        "worst_VSS_V": r.worst_drop_vss_v,
+                    }
+                    for r in rows
+                ],
+                title=label,
+            ))
+    elif args.number == 4:
+        print(format_table(
+            [{"model": k, **v} for k, v in study.table4().items()]
+        ))
+    return 0
+
+
+def cmd_atpg(args) -> int:
+    from .atpg import AtpgEngine
+    from .dft import write_stil
+
+    study = _study(args)
+    design = study.design
+    engine = AtpgEngine(
+        design.netlist, design.dominant_domain(), scan=design.scan,
+        protocol=args.protocol, seed=1,
+    )
+    result = engine.run(fill=args.fill)
+    print(
+        f"{result.n_patterns} patterns, "
+        f"test coverage {result.test_coverage:.1%}"
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            write_stil(result.pattern_set, fh, scan=design.scan)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_scap(args) -> int:
+    from .core import validate_pattern_set
+    from .dft import read_stil
+
+    study = _study(args)
+    with open(args.patterns) as fh:
+        patterns = read_stil(fh)
+    report = validate_pattern_set(
+        study.calculator, patterns, study.thresholds_mw
+    )
+    print(
+        f"{len(report.violating_patterns())} of {report.n_patterns} "
+        f"patterns exceed a block threshold"
+    )
+    for v in report.violations[:20]:
+        print(
+            f"  pattern {v.pattern_index}: {v.block} "
+            f"{v.scap_mw:.2f} mW > {v.threshold_mw:.2f} mW"
+        )
+    return 1 if report.violations else 0
+
+
+def cmd_irmap(args) -> int:
+    from .pgrid import dynamic_ir_for_pattern, render_ir_map
+
+    study = _study(args)
+    flow = study.conventional()
+    pattern = flow.pattern_set[args.pattern]
+    _profile, timing = study.calculator.profile_pattern_with_timing(pattern)
+    ir = dynamic_ir_for_pattern(study.model, timing)
+    print(render_ir_map(
+        study.model.vdd_grid, ir.drop_vdd,
+        title=f"VDD IR-drop, pattern #{args.pattern}:",
+    ))
+    return 0
+
+
+def cmd_floorplan(args) -> int:
+    study = _study(args)
+    print(study.figure1())
+    return 0
+
+
+def cmd_export(args) -> int:
+    from .reporting import export_case_study
+
+    study = _study(args)
+    written = export_case_study(study, args.out)
+    print(f"wrote {len(written)} artefacts to {args.out}/")
+    for path in written:
+        print(f"  {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Supply-noise-aware TDF ATPG (DAC'07 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("casestudy", help="run the full reproduction")
+    _add_common(p)
+    p.set_defaults(fn=cmd_casestudy)
+
+    p = sub.add_parser("table", help="print one paper table")
+    _add_common(p)
+    p.add_argument("number", type=int, choices=[1, 2, 3, 4])
+    p.set_defaults(fn=cmd_table)
+
+    p = sub.add_parser("atpg", help="generate transition patterns")
+    _add_common(p)
+    p.add_argument("--fill", default="random",
+                   choices=["random", "0", "1", "adjacent", "preferred"])
+    p.add_argument("--protocol", default="loc", choices=["loc", "los"])
+    p.add_argument("--output", help="write patterns as STIL")
+    p.set_defaults(fn=cmd_atpg)
+
+    p = sub.add_parser("scap", help="screen a STIL file against thresholds")
+    _add_common(p)
+    p.add_argument("patterns", help="STIL file from `repro atpg`")
+    p.set_defaults(fn=cmd_scap)
+
+    p = sub.add_parser("irmap", help="IR-drop map of one pattern")
+    _add_common(p)
+    p.add_argument("--pattern", type=int, default=0)
+    p.set_defaults(fn=cmd_irmap)
+
+    p = sub.add_parser("floorplan", help="print the floorplan")
+    _add_common(p)
+    p.set_defaults(fn=cmd_floorplan)
+
+    p = sub.add_parser("export", help="write every table/figure to files")
+    _add_common(p)
+    p.add_argument("--out", default="artifacts",
+                   help="output directory (default: artifacts/)")
+    p.set_defaults(fn=cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

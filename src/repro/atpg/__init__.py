@@ -1,0 +1,68 @@
+"""Transition-delay-fault ATPG (the TetraMAX substitute).
+
+* :mod:`~repro.atpg.values` — three-valued (0/1/X) calculus,
+* :mod:`~repro.atpg.faults` — transition fault universe and collapsing,
+* :mod:`~repro.atpg.twoframe` — two-time-frame implication engine for
+  launch-off-capture,
+* :mod:`~repro.atpg.podem` — PODEM test generation over the two frames,
+* :mod:`~repro.atpg.fill` — don't-care fill policies (random/0/1/adjacent),
+* :mod:`~repro.atpg.fsim` — cone-restricted parallel-pattern fault
+  simulation with fault dropping,
+* :mod:`~repro.atpg.engine` — the pattern-generation loop with static
+  compaction (cube merging) and coverage tracking,
+* :mod:`~repro.atpg.patterns` — pattern containers.
+"""
+
+from .faults import TransitionFault, build_fault_universe, collapse_faults
+from .fill import FILL_POLICIES, apply_fill, preferred_fill_bits
+from .patterns import Pattern, PatternSet
+from .scoap import TestabilityReport, analyze_testability
+from .engine import AtpgEngine, AtpgResult
+from .fsim import FaultSimulator
+from .podem import PodemResult, PodemStatus, generate_test
+from .compact import coverage_of_set, reverse_order_compaction
+from .diagnosis import (
+    DiagnosisCandidate,
+    DiagnosisResult,
+    TransitionFaultDiagnoser,
+)
+from .pathdelay import (
+    PathTestResult,
+    PathTestStatus,
+    StructuralPath,
+    generate_path_test,
+    longest_path_tests,
+    path_from_endpoint,
+    path_from_timing,
+)
+
+__all__ = [
+    "AtpgEngine",
+    "AtpgResult",
+    "DiagnosisCandidate",
+    "DiagnosisResult",
+    "FILL_POLICIES",
+    "FaultSimulator",
+    "TransitionFaultDiagnoser",
+    "PathTestResult",
+    "PathTestStatus",
+    "Pattern",
+    "PatternSet",
+    "PodemResult",
+    "PodemStatus",
+    "StructuralPath",
+    "TestabilityReport",
+    "TransitionFault",
+    "analyze_testability",
+    "generate_path_test",
+    "longest_path_tests",
+    "path_from_endpoint",
+    "path_from_timing",
+    "apply_fill",
+    "build_fault_universe",
+    "collapse_faults",
+    "coverage_of_set",
+    "generate_test",
+    "preferred_fill_bits",
+    "reverse_order_compaction",
+]

@@ -1,0 +1,109 @@
+"""Static pattern-set compaction by reverse-order fault simulation.
+
+The classic post-generation pass: simulate the pattern set in *reverse*
+order with fault dropping and keep only patterns that are the last
+detector of at least one fault.  Early patterns — generated when easy
+faults were plentiful — are frequently subsumed by the accumulated
+later patterns, so reverse-order simulation removes them at zero
+coverage cost.
+
+(The in-generation compaction — merging several target faults into one
+cube — lives in the engine; this module is the complementary
+set-level pass.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AtpgError
+from .faults import TransitionFault
+from .fsim import FaultSimulator
+from .patterns import Pattern, PatternSet
+
+
+def reverse_order_compaction(
+    fsim: FaultSimulator,
+    pattern_set: PatternSet,
+    faults: Sequence[TransitionFault],
+    protocol: str = "loc",
+    scan=None,
+    batch: int = 64,
+) -> Tuple[PatternSet, Dict[str, int]]:
+    """Drop patterns subsumed by later ones.
+
+    Returns the compacted set (original relative order, reindexed) and a
+    stats dict (kept/dropped/faults_covered).
+
+    Within a batch, attributing each fault to its *highest-index*
+    detecting pattern is exactly sequential reverse-order dropping, so
+    batching loses nothing.
+    """
+    n = len(pattern_set)
+    if n == 0:
+        return PatternSet(pattern_set.domain, fill=pattern_set.fill), {
+            "kept": 0, "dropped": 0, "faults_covered": 0,
+        }
+
+    matrix = pattern_set.as_matrix()
+    live: List[TransitionFault] = list(faults)
+    keep = np.zeros(n, dtype=bool)
+    covered = 0
+
+    start = n
+    while start > 0 and live:
+        lo = max(0, start - batch)
+        chunk = matrix[lo:start]
+        words = fsim.run(chunk, live, protocol=protocol, scan=scan)
+        for fault, word in words.items():
+            last = word.bit_length() - 1  # highest set bit
+            keep[lo + last] = True
+            covered += 1
+        live = [f for f in live if f not in words]
+        start = lo
+
+    compacted = PatternSet(pattern_set.domain, fill=pattern_set.fill)
+    for i in range(n):
+        if keep[i]:
+            original = pattern_set[i]
+            compacted.append(
+                Pattern(
+                    index=len(compacted),
+                    v1=original.v1,
+                    care=original.care,
+                    domain=original.domain,
+                    fill=original.fill,
+                    targeted_faults=list(original.targeted_faults),
+                )
+            )
+    stats = {
+        "kept": int(keep.sum()),
+        "dropped": int(n - keep.sum()),
+        "faults_covered": covered,
+    }
+    return compacted, stats
+
+
+def coverage_of_set(
+    fsim: FaultSimulator,
+    pattern_set: PatternSet,
+    faults: Sequence[TransitionFault],
+    protocol: str = "loc",
+    scan=None,
+    batch: int = 64,
+) -> int:
+    """Number of *faults* detected by a pattern set (verification aid)."""
+    matrix = pattern_set.as_matrix()
+    live = list(faults)
+    detected = 0
+    for lo in range(0, matrix.shape[0], batch):
+        if not live:
+            break
+        words = fsim.run(
+            matrix[lo:lo + batch], live, protocol=protocol, scan=scan
+        )
+        detected += len(words)
+        live = [f for f in live if f not in words]
+    return detected

@@ -1,0 +1,139 @@
+"""Transition delay fault model, universe construction and collapsing.
+
+A transition fault sits on a *stem* (a driven net): slow-to-rise (STR)
+or slow-to-fall (STF).  Under launch-off-capture it is tested by a
+pattern pair in which frame 1 sets the stem to the initial value and
+frame 2 both drives the opposite value and propagates the (stuck-at-
+initial-value) fault effect to a capturing scan flop.
+
+Collapsing folds faults through single-input kinds: a transition at a
+BUF/CLKBUF output is equivalent to the same transition at its input
+stem, and at an INV output to the opposite transition at the input —
+the standard structural equivalence for transition faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import AtpgError
+from ..netlist.cells import (
+    INVERTING_SINGLE_INPUT_KINDS,
+    NONINVERTING_SINGLE_INPUT_KINDS,
+)
+from ..netlist.netlist import Netlist
+
+#: Slow-to-rise: frame 1 = 0, frame 2 behaves stuck-at-0.
+STR = "str"
+#: Slow-to-fall: frame 1 = 1, frame 2 behaves stuck-at-1.
+STF = "stf"
+
+
+@dataclass(frozen=True)
+class TransitionFault:
+    """One transition delay fault on a stem net."""
+
+    net: int
+    kind: str  # STR or STF
+
+    def __post_init__(self) -> None:
+        if self.kind not in (STR, STF):
+            raise AtpgError(f"bad transition fault kind {self.kind!r}")
+
+    @property
+    def initial_value(self) -> int:
+        """Required frame-1 value at the stem (and the stuck value)."""
+        return 0 if self.kind == STR else 1
+
+    @property
+    def final_value(self) -> int:
+        """The value frame 2 must drive in the good machine."""
+        return 1 - self.initial_value
+
+    def describe(self, netlist: Netlist) -> str:
+        return f"{self.kind.upper()}@{netlist.net_names[self.net]}"
+
+
+def build_fault_universe(
+    netlist: Netlist,
+    blocks: Optional[Iterable[str]] = None,
+) -> List[TransitionFault]:
+    """All transition faults on gate and flop output stems.
+
+    Parameters
+    ----------
+    netlist:
+        The design.
+    blocks:
+        Optional block filter; when given, only stems driven by
+        instances of these blocks are included (the staged flow of the
+        paper targets faults block by block).
+    """
+    allowed = set(blocks) if blocks is not None else None
+    stems: List[int] = []
+    for g in netlist.gates:
+        if allowed is None or g.block in allowed:
+            stems.append(g.output)
+    for f in netlist.flops:
+        if allowed is None or f.block in allowed:
+            stems.append(f.q)
+    faults: List[TransitionFault] = []
+    for net in stems:
+        faults.append(TransitionFault(net, STR))
+        faults.append(TransitionFault(net, STF))
+    return faults
+
+
+def collapse_faults(
+    netlist: Netlist, faults: Sequence[TransitionFault]
+) -> Tuple[List[TransitionFault], Dict[TransitionFault, TransitionFault]]:
+    """Structural equivalence collapsing through BUF/INV chains.
+
+    Returns ``(representatives, mapping)`` where every input fault maps
+    to its representative (a fault whose stem is not the output of a
+    single-input gate, or the chain head if the chain starts at one).
+    """
+    netlist.freeze()
+
+    def fold(fault: TransitionFault) -> TransitionFault:
+        net, kind = fault.net, fault.kind
+        seen: Set[int] = set()
+        while True:
+            drv = netlist.driver_of(net)
+            if drv is None or drv[0] != "gate":
+                break
+            gate = netlist.gates[drv[1]]
+            if gate.kind in NONINVERTING_SINGLE_INPUT_KINDS:
+                nxt = gate.inputs[0]
+            elif gate.kind in INVERTING_SINGLE_INPUT_KINDS:
+                nxt = gate.inputs[0]
+                kind = STF if kind == STR else STR
+            else:
+                break
+            if nxt in seen:  # defensive: malformed loop
+                break
+            seen.add(net)
+            net = nxt
+        return TransitionFault(net, kind)
+
+    mapping: Dict[TransitionFault, TransitionFault] = {}
+    reps: Dict[TransitionFault, None] = {}
+    for fault in faults:
+        rep = fold(fault)
+        mapping[fault] = rep
+        reps.setdefault(rep, None)
+    return list(reps), mapping
+
+
+def fault_block(netlist: Netlist, fault: TransitionFault) -> Optional[str]:
+    """The SOC block owning a fault's stem (via its driver instance)."""
+    drv = netlist.driver_of(fault.net)
+    if drv is None:
+        return None
+    kind, idx = drv
+    if kind == "gate":
+        return netlist.gates[idx].block
+    if kind == "flop":
+        return netlist.flops[idx].block
+    return None

@@ -1,0 +1,89 @@
+"""Pattern containers.
+
+A :class:`Pattern` is one launch-off-capture test: the fully-filled scan
+state V1 plus bookkeeping — which bits were ATPG care bits, which faults
+it was generated for, and which fill policy completed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AtpgError
+
+
+@dataclass
+class Pattern:
+    """One test pattern over ``n_flops`` scan cells."""
+
+    index: int
+    v1: np.ndarray  # uint8 bit per flop
+    care: np.ndarray  # bool per flop: ATPG-assigned vs filled
+    domain: str
+    fill: str
+    targeted_faults: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.v1 = np.asarray(self.v1, dtype=np.uint8)
+        self.care = np.asarray(self.care, dtype=bool)
+        if self.v1.shape != self.care.shape:
+            raise AtpgError("v1 and care masks must have the same shape")
+
+    @property
+    def n_flops(self) -> int:
+        """Number of scan cells the pattern covers."""
+        return int(self.v1.size)
+
+    @property
+    def care_count(self) -> int:
+        """Number of ATPG-assigned (care) bits."""
+        return int(self.care.sum())
+
+    @property
+    def care_ratio(self) -> float:
+        """Care bits as a fraction of all scan cells."""
+        return self.care_count / max(1, self.n_flops)
+
+    def v1_dict(self) -> Dict[int, int]:
+        """V1 as a flop->bit mapping (simulator input form)."""
+        return {fi: int(self.v1[fi]) for fi in range(self.n_flops)}
+
+
+@dataclass
+class PatternSet:
+    """An ordered collection of patterns for one clock domain."""
+
+    domain: str
+    patterns: List[Pattern] = field(default_factory=list)
+    fill: str = "random"
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self.patterns)
+
+    def __getitem__(self, idx: int) -> Pattern:
+        return self.patterns[idx]
+
+    def append(self, pattern: Pattern) -> None:
+        if pattern.domain != self.domain:
+            raise AtpgError(
+                f"pattern domain {pattern.domain!r} != set domain "
+                f"{self.domain!r}"
+            )
+        self.patterns.append(pattern)
+
+    def as_matrix(self) -> np.ndarray:
+        """All V1 vectors stacked, shape ``(n_patterns, n_flops)``."""
+        if not self.patterns:
+            return np.zeros((0, 0), dtype=np.uint8)
+        return np.stack([p.v1 for p in self.patterns])
+
+    def mean_care_ratio(self) -> float:
+        if not self.patterns:
+            return 0.0
+        return float(np.mean([p.care_ratio for p in self.patterns]))

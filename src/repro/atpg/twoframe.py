@@ -1,0 +1,382 @@
+"""Two-time-frame incremental implication engine for LOC test generation.
+
+The launch-off-capture pattern pair is modelled as two copies of the
+combinational logic:
+
+* **frame 1** settles from the shifted-in scan state V1 (the decision
+  variables),
+* the launch edge loads every *pulsed-domain* flop with its frame-1 D
+  value (other domains hold V1),
+* **frame 2** settles from that launch state; the good machine (``g2``)
+  and the faulty machine (``f2`` — fault stem forced to the stuck value)
+  are maintained side by side, so a net is a *D net* when its two
+  frame-2 values are defined and differ.
+
+The engine is incremental: assigning one scan bit propagates three-valued
+values only through the affected cones, and every write lands on a trail
+so PODEM can backtrack in O(changes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import AtpgError
+from ..netlist.cells import CELL_FUNCTIONS
+from ..netlist.levelize import levelize
+from ..netlist.netlist import Netlist
+from .faults import TransitionFault
+from .values import EVAL3, X
+
+_F1, _G2, _F2 = 0, 1, 2
+
+
+class TwoFrameState:
+    """Three-valued two-frame circuit state with trail-based undo.
+
+    ``protocol`` selects the launch mechanism:
+
+    * ``"loc"`` (default) — broadside: a pulsed flop's frame-2 Q is its
+      own frame-1 D value (the functional response),
+    * ``"los"`` — skewed-load: *every* scan flop's frame-2 Q is its
+      upstream chain neighbour's V1 bit (the last shift); chain heads
+      take the scan-in value 0.  Requires the scan configuration.
+
+    Capture is identical in both: the positive-edge flops of *domain*
+    observe their frame-2 D values.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        domain: str,
+        protocol: str = "loc",
+        scan=None,
+    ):
+        if protocol not in ("loc", "los"):
+            raise AtpgError(
+                f"two-frame ATPG supports 'loc' and 'los', not {protocol!r}"
+            )
+        if protocol == "los" and scan is None:
+            raise AtpgError("LOS test generation needs the scan config")
+        self.netlist = netlist
+        self.domain = domain
+        self.protocol = protocol
+        netlist.freeze()
+        n = netlist.n_nets
+
+        # Negative-edge cells are masked during the at-speed cycle (they
+        # live on a dedicated chain in the case study), so only
+        # positive-edge domain flops launch and capture.
+        self.pulsed: Tuple[int, ...] = tuple(
+            fi
+            for fi, f in enumerate(netlist.flops)
+            if f.clock_domain == domain and f.edge == "pos"
+        )
+        if not self.pulsed:
+            raise AtpgError(f"domain {domain!r} has no flops")
+        self._pulsed_set = set(self.pulsed)
+
+        # LOC: D-net -> pulsed flops loading it (launch-state link).
+        self._pulsed_loads: List[Tuple[int, ...]] = [()] * n
+        if protocol == "loc":
+            loads: Dict[int, List[int]] = {}
+            for fi in self.pulsed:
+                loads.setdefault(netlist.flops[fi].d, []).append(fi)
+            for net, flops in loads.items():
+                self._pulsed_loads[net] = tuple(flops)
+
+        # LOS: per-flop chain neighbours (every scan cell shifts during
+        # the launch shift, whatever its domain).
+        self.los_upstream: Dict[int, Optional[int]] = {}
+        self._los_downstream: Dict[int, int] = {}
+        if protocol == "los":
+            for chain in scan.chains:
+                for pos, fi in enumerate(chain.flops):
+                    if pos == 0:
+                        self.los_upstream[fi] = None  # scan-in end
+                    else:
+                        up = chain.flops[pos - 1]
+                        self.los_upstream[fi] = up
+                        self._los_downstream[up] = fi
+
+        # Capture observation points: D nets of pulsed flops.
+        self.capture_nets: Tuple[int, ...] = tuple(
+            sorted({netlist.flops[fi].d for fi in self.pulsed})
+        )
+
+        # Flattened gate tables.
+        self._gate_eval = [EVAL3[g.kind] for g in netlist.gates]
+        self._gate_ins = [g.inputs for g in netlist.gates]
+        self._gate_out = [g.output for g in netlist.gates]
+        self._fanout_gates: List[Tuple[int, ...]] = [
+            tuple(gi for gi, _pin in netlist.gate_fanouts_of(net))
+            for net in range(n)
+        ]
+
+        # Static observability distance: gates to the nearest capture
+        # net along the fanout graph (inf when a net cannot reach one).
+        # Guides D-frontier selection and prunes dead frontiers.
+        inf = float("inf")
+        obs = [inf] * n
+        for net in self.capture_nets:
+            obs[net] = 0.0
+        order_rev = list(reversed(levelize(netlist)[0]))
+        # Iterate in reverse topological order so each gate sees its
+        # output's final distance before its inputs are relaxed.
+        for gi in order_rev:
+            out_d = obs[netlist.gates[gi].output]
+            if out_d + 1.0 < inf:
+                for p in netlist.gates[gi].inputs:
+                    if out_d + 1.0 < obs[p]:
+                        obs[p] = out_d + 1.0
+        self.obs_dist = obs
+
+        # Baseline (constants-only) implied state, computed once.
+        base = [X] * n
+        for net in netlist.primary_inputs:
+            base[net] = 0  # PIs held constant low during test
+        order, _ = levelize(netlist)
+        self._order = order
+        for gi in order:
+            base[self._gate_out[gi]] = self._gate_eval[gi](
+                [base[p] for p in self._gate_ins[gi]]
+            )
+        self._base = base
+
+        # Frame-2 baseline: constants plus whatever launch-state values
+        # are already determined with no V1 assignment — for LOC the
+        # pulsed flops whose frame-1 D is fixed by the constant primary
+        # inputs, for LOS the chain heads (scan-in is 0).
+        base2 = list(base)
+        if protocol == "loc":
+            for fi in self.pulsed:
+                d_val = base[netlist.flops[fi].d]
+                if d_val != X:
+                    base2[netlist.flops[fi].q] = d_val
+        else:
+            for fi, up in self.los_upstream.items():
+                if up is None:
+                    base2[netlist.flops[fi].q] = 0
+        for gi in order:
+            base2[self._gate_out[gi]] = self._gate_eval[gi](
+                [base2[p] for p in self._gate_ins[gi]]
+            )
+        self._base2 = base2
+
+        #: Optional per-net static arrival estimate (ns).  When set,
+        #: PODEM's backtrace prefers late-arriving inputs, steering
+        #: activation/propagation through *long* paths — the
+        #: timing-aware mode addressing the paper's observation that
+        #: plain ATPG exercises easy (short) paths.
+        self.arrival = None
+
+        # Per-fault mutable state (populated by set_fault).
+        self.fault: Optional[TransitionFault] = None
+        self.f1: List[int] = []
+        self.g2: List[int] = []
+        self.f2: List[int] = []
+        self.v1: Dict[int, int] = {}
+        self.d_nets: Set[int] = set()
+        self._trail: List[Tuple[int, int, int]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def set_fault(self, fault: TransitionFault) -> None:
+        """Reset all state and install *fault* (forced in frame 2)."""
+        self.fault = fault
+        self.f1 = list(self._base)
+        self.g2 = list(self._base2)
+        self.f2 = list(self._base2)
+        self.v1 = {}
+        self.d_nets = set()
+        self._trail = []
+        # Force the faulty machine's stem; re-derive its fanout cone in f2.
+        site = fault.net
+        stuck = fault.initial_value
+        if self.f2[site] != stuck:
+            self.f2[site] = stuck
+            self._check_d(site)
+            self._propagate2(deque([site]), faulty_only=True)
+
+    def mark(self) -> int:
+        """Current trail position; pass to :meth:`undo_to`."""
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        """Roll back every write made after *mark*."""
+        trail = self._trail
+        while len(trail) > mark:
+            kind, key, old = trail.pop()
+            if kind == _F1:
+                self.f1[key] = old
+            elif kind == _G2:
+                self.g2[key] = old
+            elif kind == _F2:
+                self.f2[key] = old
+            elif kind == 3:  # v1 assignment
+                if old == X:
+                    del self.v1[key]
+                else:
+                    self.v1[key] = old
+            else:  # d_nets insertion
+                self.d_nets.discard(key)
+
+    # ------------------------------------------------------------------
+    # assignment + implication
+    # ------------------------------------------------------------------
+    def assign(self, flop: int, bit: int) -> None:
+        """Assign scan bit V1[flop] and imply both frames."""
+        if flop in self.v1:
+            raise AtpgError(f"flop {flop} already assigned")
+        self._trail.append((3, flop, X))
+        self.v1[flop] = bit
+
+        q = self.netlist.flops[flop].q
+        seeds2: deque = deque()
+        if self.protocol == "loc":
+            if flop not in self._pulsed_set:
+                # Held domain / masked cell: frame-2 Q equals V1.
+                self._write2(q, bit, seeds2)
+        else:
+            # LOS: this V1 bit shifts into the downstream neighbour; a
+            # flop off every chain (none in generated designs) holds.
+            down = self._los_downstream.get(flop)
+            if down is not None:
+                self._write2(self.netlist.flops[down].q, bit, seeds2)
+            if flop not in self.los_upstream:
+                self._write2(q, bit, seeds2)
+        self._write1_and_link(q, bit, seeds2)
+        self._propagate1(deque([q]), seeds2)
+        self._propagate2(seeds2)
+
+    def frame2_source(self, flop: int):
+        """How a flop's frame-2 Q is determined (backtrace hook).
+
+        Returns ``("f1net", net)`` when the flop launches its frame-1 D
+        value (LOC pulsed flop), ``("v1", flop')`` when it equals a scan
+        decision variable, or ``None`` when it is a constant (the LOS
+        scan-in head).
+        """
+        if self.protocol == "loc":
+            if flop in self._pulsed_set:
+                return ("f1net", self.netlist.flops[flop].d)
+            return ("v1", flop)
+        if flop in self.los_upstream:
+            up = self.los_upstream[flop]
+            if up is None:
+                return None  # chain head takes the constant scan-in bit
+            return ("v1", up)
+        return ("v1", flop)
+
+    def _write1_and_link(self, net: int, val: int, seeds2: deque) -> None:
+        self._trail.append((_F1, net, self.f1[net]))
+        self.f1[net] = val
+        for fi in self._pulsed_loads[net]:
+            self._write2(self.netlist.flops[fi].q, val, seeds2)
+
+    def _write2(self, net: int, val: int, seeds2: deque) -> None:
+        site = self.fault.net if self.fault is not None else -1
+        changed = False
+        if self.g2[net] != val:
+            self._trail.append((_G2, net, self.g2[net]))
+            self.g2[net] = val
+            changed = True
+        if net != site and self.f2[net] != val:
+            self._trail.append((_F2, net, self.f2[net]))
+            self.f2[net] = val
+            changed = True
+        if changed:
+            self._check_d(net)
+            seeds2.append(net)
+
+    def _check_d(self, net: int) -> None:
+        g, f = self.g2[net], self.f2[net]
+        if g != X and f != X and g != f and net not in self.d_nets:
+            self.d_nets.add(net)
+            self._trail.append((4, net, 0))
+
+    def _propagate1(self, queue: deque, seeds2: deque) -> None:
+        f1 = self.f1
+        while queue:
+            net = queue.popleft()
+            for gi in self._fanout_gates[net]:
+                out = self._gate_out[gi]
+                new = self._gate_eval[gi](
+                    [f1[p] for p in self._gate_ins[gi]]
+                )
+                if new != f1[out]:
+                    self._write1_and_link(out, new, seeds2)
+                    queue.append(out)
+
+    def _propagate2(self, queue: deque, faulty_only: bool = False) -> None:
+        g2, f2 = self.g2, self.f2
+        site = self.fault.net if self.fault is not None else -1
+        while queue:
+            net = queue.popleft()
+            for gi in self._fanout_gates[net]:
+                out = self._gate_out[gi]
+                ins = self._gate_ins[gi]
+                changed = False
+                if not faulty_only:
+                    new_g = self._gate_eval[gi]([g2[p] for p in ins])
+                    if new_g != g2[out]:
+                        self._trail.append((_G2, out, g2[out]))
+                        g2[out] = new_g
+                        changed = True
+                if out != site:
+                    new_f = self._gate_eval[gi]([f2[p] for p in ins])
+                    if new_f != f2[out]:
+                        self._trail.append((_F2, out, f2[out]))
+                        f2[out] = new_f
+                        changed = True
+                if changed:
+                    self._check_d(out)
+                    queue.append(out)
+
+    # ------------------------------------------------------------------
+    # status queries
+    # ------------------------------------------------------------------
+    def activation_value(self) -> int:
+        """Frame-1 value at the fault stem (X if still free)."""
+        return self.f1[self.fault.net]
+
+    def activated(self) -> bool:
+        return self.f1[self.fault.net] == self.fault.initial_value
+
+    def activation_blocked(self) -> bool:
+        v = self.f1[self.fault.net]
+        return v != X and v != self.fault.initial_value
+
+    def launch_blocked(self) -> bool:
+        """True when the good frame 2 can no longer drive the transition."""
+        v = self.g2[self.fault.net]
+        return v != X and v != self.fault.final_value
+
+    def detected(self) -> bool:
+        """Fault effect captured: activated and D at a capture D net."""
+        if not self.activated():
+            return False
+        g2, f2 = self.g2, self.f2
+        for net in self.capture_nets:
+            g, f = g2[net], f2[net]
+            if g != X and f != X and g != f:
+                return True
+        return False
+
+    def d_frontier(self) -> List[int]:
+        """Gates with a D input and an undetermined composite output."""
+        frontier: List[int] = []
+        g2, f2 = self.g2, self.f2
+        for net in self.d_nets:
+            for gi in self._fanout_gates[net]:
+                out = self._gate_out[gi]
+                if g2[out] == X or f2[out] == X:
+                    frontier.append(gi)
+        return frontier
+
+    def cube(self) -> Dict[int, int]:
+        """The current care-bit assignment (V1 scan bits)."""
+        return dict(self.v1)

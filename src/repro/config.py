@@ -1,0 +1,110 @@
+"""Global electrical and test constants for the reproduction.
+
+The values below mirror the operating point of the paper's case study:
+a 180 nm standard-cell SOC timing-closed at 1.8 V / 25 C, tested with a
+20 ns launch-to-capture cycle on the dominant clock domain and a 10 MHz
+scan shift clock.
+
+Units used consistently throughout the library:
+
+==============  =========================
+quantity        unit
+==============  =========================
+time            nanoseconds (ns)
+capacitance     femtofarads (fF)
+voltage         volts (V)
+current         milliamperes (mA)
+resistance      ohms
+power           milliwatts (mW)
+energy          femtojoules (fJ) internally; reported in mW over windows
+distance        micrometres (um)
+==============  =========================
+
+With these units, ``C[fF] * V[V]^2`` is an energy in femtojoules and
+``fJ / ns`` is a power in microwatts; helpers in :mod:`repro.power.energy`
+convert to milliwatts for reporting, matching the paper's tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigError
+
+#: Nominal supply voltage of the 180 nm library (V).
+VDD_NOMINAL = 1.8
+
+#: Worst-case IR-drop "red" threshold used in the paper's Figure 3:
+#: regions dropping more than 10 % of VDD are flagged.
+IR_DROP_RED_FRACTION = 0.10
+
+#: Non-linear delay-scaling factor from the vendor library (paper
+#: Section 3.2): a 0.1 V drop slows a cell by 0.9 * 0.1 = 9 %.
+K_VOLT = 0.9
+
+#: At-speed launch-to-capture period of the dominant clock domain (ns).
+ATSPEED_PERIOD_NS = 20.0
+
+#: Scan shift period (ns) — 10 MHz, deliberately slow (shift IR-drop is
+#: out of the paper's scope, as is ours).
+SHIFT_PERIOD_NS = 100.0
+
+#: Toggle probability assumed by the vectorless statistical analysis.
+#: The paper uses a pessimistic 30 % (vs the customary 20 %) because test
+#: switching exceeds functional switching.
+STATISTICAL_TOGGLE_RATE = 0.30
+
+#: Number of VDD pads and of VSS pads around the chip periphery.
+SUPPLY_PAD_COUNT = 37
+
+
+def joules_to_milliwatts(energy_fj: float, window_ns: float) -> float:
+    """Convert an energy in femtojoules over a window in ns to milliwatts.
+
+    ``1 fJ / 1 ns = 1 uW = 1e-3 mW``.
+    """
+    if window_ns <= 0.0:
+        raise ConfigError(f"window must be positive, got {window_ns} ns")
+    return energy_fj / window_ns * 1e-3
+
+
+@dataclass(frozen=True)
+class ElectricalEnv:
+    """Operating point used by power and IR-drop analyses.
+
+    Parameters
+    ----------
+    vdd:
+        Supply voltage in volts.
+    temperature_c:
+        Junction temperature in Celsius (informational; the synthetic
+        library is characterised at 25 C only).
+    k_volt:
+        Delay sensitivity to supply droop (fractional delay increase per
+        volt of drop).
+    """
+
+    vdd: float = VDD_NOMINAL
+    temperature_c: float = 25.0
+    k_volt: float = K_VOLT
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ConfigError(f"vdd must be positive, got {self.vdd}")
+        if self.k_volt < 0:
+            raise ConfigError(f"k_volt must be >= 0, got {self.k_volt}")
+
+    def scaled_delay(self, delay_ns: float, drop_v: float) -> float:
+        """Apply the paper's delay-degradation formula.
+
+        ``ScaledCellDelay = Delay * (1 + k_volt * dV)`` where ``dV`` is the
+        voltage drop (in volts) seen by the cell.  Negative drops (local
+        overshoot) are clamped to zero: the model only degrades.
+        """
+        drop = max(0.0, drop_v)
+        return delay_ns * (1.0 + self.k_volt * drop)
+
+    @property
+    def red_drop_v(self) -> float:
+        """Absolute drop (V) above which a region is 'red' in IR maps."""
+        return IR_DROP_RED_FRACTION * self.vdd

@@ -1,0 +1,143 @@
+"""Monte-Carlo chip binning: yield loss from test-induced noise.
+
+The overkill analysis flags endpoints for one nominal chip; this module
+asks the production question: across a *population* of chips with
+process speed variation, how many good chips does each pattern set
+throw away?
+
+Chip model: a global speed factor ``f ~ N(1, sigma)`` (clipped) scales
+every path delay — the standard first-order global-corner model.  A
+chip is **functionally good** when its scaled critical endpoint delays
+meet the cycle; the tester rejects it when any pattern's *IR-scaled*
+endpoint misses the test period.  Overkill = good chips rejected;
+escapes are not modelled (no injected defects) — this is purely the
+false-failure side, which is the paper's concern.
+
+Because both chip speed and IR effects act multiplicatively on the
+per-pattern endpoint delays already computed by
+:func:`~repro.core.overkill.overkill_analysis`, the Monte-Carlo loop is
+pure arithmetic: thousands of chips per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from .overkill import OverkillReport
+
+
+@dataclass
+class BinningResult:
+    """Population statistics from one binning run."""
+
+    n_chips: int
+    functionally_good: int
+    passed_test: int
+    overkill: int  # good chips rejected by the test
+    sigma: float
+    period_ns: float
+
+    @property
+    def yield_loss_fraction(self) -> float:
+        """Share of good chips killed by test-induced noise."""
+        """Share of good chips killed by test-induced noise."""
+        if self.functionally_good == 0:
+            return 0.0
+        return self.overkill / self.functionally_good
+
+
+def binning_simulation(
+    report: OverkillReport,
+    n_chips: int = 2000,
+    sigma: float = 0.05,
+    seed: int = 0,
+    guardband: float = 1.0,
+    period_ns: Optional[float] = None,
+) -> BinningResult:
+    """Monte-Carlo binning on top of an overkill report.
+
+    Parameters
+    ----------
+    report:
+        Per-pattern worst nominal/IR-scaled endpoint delays (run
+        :func:`~repro.core.overkill.overkill_analysis` first; the
+        recorded delays do not depend on the report's period, so one
+        report can be binned at many test periods).
+    n_chips:
+        Population size.
+    sigma:
+        Relative std-dev of the global chip speed factor.
+    guardband:
+        Multiplier on the functional budget when declaring a chip
+        "functionally good" (1.0 = exactly the test period).
+    period_ns:
+        Test period to bin at; defaults to the report's period.
+    """
+    if not report.patterns:
+        raise ConfigError("overkill report has no patterns")
+    if sigma < 0:
+        raise ConfigError("sigma must be >= 0")
+    if period_ns is None:
+        period_ns = report.period_ns
+
+    budget = period_ns - report.setup_ns
+    worst_nominal = max(p.worst_nominal_ns for p in report.patterns)
+    worst_scaled = max(p.worst_scaled_ns for p in report.patterns)
+
+    rng = np.random.default_rng(seed)
+    speed = np.clip(rng.normal(1.0, sigma, size=n_chips), 0.7, 1.3)
+
+    # A chip is functionally good when its (speed-scaled) worst
+    # sensitized path meets the guardbanded budget without test noise.
+    good = speed * worst_nominal <= budget * guardband
+    # The tester measures with the pattern's own IR droop on top.
+    passed = speed * worst_scaled <= budget
+
+    overkill = int(np.count_nonzero(good & ~passed))
+    return BinningResult(
+        n_chips=n_chips,
+        functionally_good=int(np.count_nonzero(good)),
+        passed_test=int(np.count_nonzero(passed)),
+        overkill=overkill,
+        sigma=sigma,
+        period_ns=period_ns,
+    )
+
+
+def guardband_for_yield(
+    report: OverkillReport,
+    max_yield_loss: float = 0.01,
+    n_chips: int = 4000,
+    sigma: float = 0.05,
+    seed: int = 0,
+    resolution_ns: float = 0.05,
+) -> float:
+    """Smallest test period keeping yield loss under *max_yield_loss*.
+
+    The noise-induced guardband of a pattern set: how much slower than
+    its nominal capability it must be tested so its own supply noise
+    stops killing good chips.  Linear sweep from the fastest
+    nominally-meaningful period upward.
+    """
+    if not 0 <= max_yield_loss < 1:
+        raise ConfigError("max_yield_loss must be in [0, 1)")
+    start = max(p.worst_nominal_ns for p in report.patterns) + report.setup_ns
+    stop = max(p.worst_scaled_ns for p in report.patterns) + \
+        report.setup_ns + 1.0
+    period = start
+    while period <= stop:
+        result = binning_simulation(
+            report, n_chips=n_chips, sigma=sigma, seed=seed,
+            period_ns=period,
+        )
+        # A meaningful operating point needs most of the population to
+        # be functionally good; otherwise 0/0 yield loss is vacuous.
+        healthy = result.functionally_good >= n_chips // 2
+        if healthy and result.yield_loss_fraction <= max_yield_loss:
+            return period
+        period += resolution_ns
+    return stop

@@ -1,0 +1,153 @@
+"""Overkill (false-failure) risk analysis.
+
+The paper's opening argument: "a design that may not have a delay fault
+may fail a delay test pattern due to excessive IR-drop related effects"
+— i.e. test-induced supply noise makes a *good* chip miss the capture
+edge and get binned as bad (its reference [17] calls this overkill).
+
+This module quantifies that risk per pattern: an endpoint is an
+**overkill risk** when its path meets the cycle at nominal delays but
+misses it once the pattern's own IR-drop scales the cells — a failure
+the tester would report that says nothing about the silicon.
+
+Comparing the conventional and staged flows on this metric is the
+bottom line of the whole methodology: noise-tolerant patterns should
+carry (almost) no overkill risk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ElectricalEnv
+from ..errors import ConfigError
+from ..pgrid.grid import GridModel
+from ..power.calculator import ScapCalculator
+from ..sim.sta import SETUP_NS
+from .irscale import ir_scaled_endpoint_comparison
+
+
+@dataclass
+class PatternOverkill:
+    """Overkill assessment of one pattern."""
+
+    pattern_index: int
+    n_active_endpoints: int
+    #: Endpoints failing the cycle at nominal delays (true slow paths —
+    #: would be real rejects, none expected on a timing-closed design).
+    nominal_failures: List[int]
+    #: Endpoints passing nominally but failing under IR-scaled delays —
+    #: the good-chip kills.
+    overkill_endpoints: List[int]
+    worst_margin_ns: float
+    #: Longest endpoint delays (for choosing FTAS-class test periods).
+    worst_nominal_ns: float = 0.0
+    worst_scaled_ns: float = 0.0
+
+    @property
+    def at_risk(self) -> bool:
+        """True when this pattern could fail a good chip."""
+        return bool(self.overkill_endpoints)
+
+
+@dataclass
+class OverkillReport:
+    """Overkill census for a pattern sample."""
+
+    period_ns: float
+    setup_ns: float
+    patterns: List[PatternOverkill] = field(default_factory=list)
+
+    @property
+    def n_at_risk(self) -> int:
+        """Patterns with at least one overkill endpoint."""
+        return sum(1 for p in self.patterns if p.at_risk)
+
+    @property
+    def risk_fraction(self) -> float:
+        """Share of analysed patterns at overkill risk."""
+        if not self.patterns:
+            return 0.0
+        return self.n_at_risk / len(self.patterns)
+
+    def total_overkill_endpoints(self) -> int:
+        """Sum of overkill endpoints across analysed patterns."""
+        return sum(len(p.overkill_endpoints) for p in self.patterns)
+
+
+def overkill_analysis(
+    calculator: ScapCalculator,
+    model: GridModel,
+    pattern_set,
+    sample: Optional[int] = None,
+    setup_ns: float = SETUP_NS,
+    period_ns: Optional[float] = None,
+    env: Optional[ElectricalEnv] = None,
+) -> OverkillReport:
+    """Assess each (sampled) pattern for IR-induced false failures.
+
+    An endpoint's budget is the capture period measured in its own
+    clock frame: ``period - setup``.  The endpoint delays from
+    :func:`~repro.core.irscale.ir_scaled_endpoint_comparison` are
+    already relative to each endpoint's clock arrival, so the check is
+    a direct comparison.
+
+    ``period_ns`` defaults to the at-speed period; on a timing-closed
+    design ATPG patterns carry slack there, so the interesting analysis
+    is at a *faster-than-at-speed* period (pass e.g. 0.6x nominal, or a
+    bin from :func:`~repro.core.ftas.ftas_analysis`): a pattern that
+    fits the fast cycle nominally but misses it under its own IR-drop
+    would kill a good chip.
+    """
+    if setup_ns < 0:
+        raise ConfigError("setup must be non-negative")
+    if period_ns is None:
+        period_ns = calculator.period_ns
+    if period_ns <= setup_ns:
+        raise ConfigError("period must exceed setup")
+    patterns = list(pattern_set)
+    if sample is not None and sample < len(patterns):
+        step = max(1, len(patterns) // sample)
+        patterns = patterns[::step][:sample]
+
+    budget = period_ns - setup_ns
+    report = OverkillReport(period_ns=period_ns, setup_ns=setup_ns)
+    for pattern in patterns:
+        comp = ir_scaled_endpoint_comparison(
+            calculator, model, pattern, env=env
+        )
+        nominal_fail: List[int] = []
+        overkill: List[int] = []
+        worst_margin = float("inf")
+        worst_nominal = 0.0
+        worst_scaled = 0.0
+        active = 0
+        for fi, nominal in comp.nominal_ns.items():
+            if nominal == 0.0:
+                continue  # non-active endpoint
+            active += 1
+            scaled = comp.scaled_ns.get(fi, nominal)
+            worst_margin = min(worst_margin, budget - scaled)
+            worst_nominal = max(worst_nominal, nominal)
+            worst_scaled = max(worst_scaled, scaled)
+            if nominal > budget:
+                nominal_fail.append(fi)
+            elif scaled > budget:
+                overkill.append(fi)
+        report.patterns.append(
+            PatternOverkill(
+                pattern_index=pattern.index,
+                n_active_endpoints=active,
+                nominal_failures=sorted(nominal_fail),
+                overkill_endpoints=sorted(overkill),
+                worst_margin_ns=(
+                    worst_margin if active else float("inf")
+                ),
+                worst_nominal_ns=worst_nominal,
+                worst_scaled_ns=worst_scaled,
+            )
+        )
+    return report

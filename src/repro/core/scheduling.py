@@ -1,0 +1,173 @@
+"""Power-constrained SOC test scheduling.
+
+The paper's introduction frames the noise problem partly through SOC
+test scheduling (its refs [5][6]): blocks are tested in parallel to cut
+test time, but the *sum* of their test power must stay under the chip's
+functional power threshold.  This module provides that scheduler — the
+natural consumer of the per-block power numbers the rest of the library
+produces.
+
+``schedule_block_tests`` packs block test tasks into parallel sessions
+under a power budget with the classic greedy longest-task-first
+heuristic, and reports the makespan against the serial baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BlockTestTask:
+    """One block's test session requirements.
+
+    ``test_time_us`` is typically ``patterns x (shift + capture) time``;
+    ``power_mw`` the block's average test power (e.g. its SCAP level).
+    """
+
+    block: str
+    test_time_us: float
+    power_mw: float
+
+    def __post_init__(self) -> None:
+        if self.test_time_us <= 0:
+            raise ConfigError(f"{self.block}: test time must be positive")
+        if self.power_mw < 0:
+            raise ConfigError(f"{self.block}: power must be >= 0")
+
+
+@dataclass
+class ScheduleSession:
+    """A set of blocks tested in parallel."""
+
+    tasks: List[BlockTestTask] = field(default_factory=list)
+
+    @property
+    def power_mw(self) -> float:
+        """Combined power of the session's parallel tasks."""
+        return sum(t.power_mw for t in self.tasks)
+
+    @property
+    def time_us(self) -> float:
+        """Session duration: its longest task."""
+        return max((t.test_time_us for t in self.tasks), default=0.0)
+
+
+@dataclass
+class TestSchedule:
+    """A complete schedule: ordered sessions."""
+
+    sessions: List[ScheduleSession]
+    power_budget_mw: float
+
+    @property
+    def makespan_us(self) -> float:
+        """Total test time: sessions run back to back."""
+        return sum(s.time_us for s in self.sessions)
+
+    @property
+    def peak_power_mw(self) -> float:
+        """Worst session power (must respect the budget)."""
+        return max((s.power_mw for s in self.sessions), default=0.0)
+
+    @property
+    def serial_time_us(self) -> float:
+        """Baseline: every block tested alone, sequentially."""
+        return sum(t.test_time_us for s in self.sessions for t in s.tasks)
+
+    @property
+    def speedup(self) -> float:
+        """Serial time over makespan."""
+        if self.makespan_us == 0:
+            return 1.0
+        return self.serial_time_us / self.makespan_us
+
+    def blocks(self) -> List[str]:
+        return [t.block for s in self.sessions for t in s.tasks]
+
+
+def schedule_block_tests(
+    tasks: Sequence[BlockTestTask],
+    power_budget_mw: float,
+) -> TestSchedule:
+    """Greedy longest-task-first packing under a session power budget.
+
+    Every session's total power stays <= *power_budget_mw*.  Tasks are
+    considered in decreasing test time; each goes into the first session
+    with power headroom, or opens a new one.  (First-fit-decreasing —
+    the standard heuristic for this NP-hard packing.)
+
+    Raises
+    ------
+    ConfigError
+        If any single task exceeds the budget (it could never run), or
+        two tasks share a block name.
+    """
+    if power_budget_mw <= 0:
+        raise ConfigError("power budget must be positive")
+    names = [t.block for t in tasks]
+    if len(set(names)) != len(names):
+        raise ConfigError("duplicate block in task list")
+    for task in tasks:
+        if task.power_mw > power_budget_mw:
+            raise ConfigError(
+                f"block {task.block!r} needs {task.power_mw:.2f} mW, over "
+                f"the {power_budget_mw:.2f} mW budget"
+            )
+
+    ordered = sorted(tasks, key=lambda t: -t.test_time_us)
+    sessions: List[ScheduleSession] = []
+    for task in ordered:
+        placed = False
+        for session in sessions:
+            if session.power_mw + task.power_mw <= power_budget_mw:
+                session.tasks.append(task)
+                placed = True
+                break
+        if not placed:
+            sessions.append(ScheduleSession([task]))
+    return TestSchedule(sessions, power_budget_mw)
+
+
+def tasks_from_flow(
+    design,
+    flow_result,
+    scap_by_block_mw: Dict[str, float],
+    shift_period_ns: float = 100.0,
+    capture_period_ns: float = 20.0,
+) -> List[BlockTestTask]:
+    """Build scheduling tasks from a staged flow's per-step patterns.
+
+    Each step's pattern count becomes its blocks' test time (patterns x
+    (chain length x shift period + capture)), split evenly across the
+    step's blocks; power is the caller-provided per-block level
+    (thresholds or measured SCAP).
+    """
+    if design.scan is None:
+        raise ConfigError("design has no scan configuration")
+    max_chain = max(c.length for c in design.scan.chains)
+    per_pattern_us = (
+        max_chain * shift_period_ns + capture_period_ns
+    ) / 1000.0
+
+    tasks: List[BlockTestTask] = []
+    boundaries = list(flow_result.step_boundaries) + [
+        flow_result.n_patterns
+    ]
+    for step_idx, blocks in enumerate(flow_result.step_blocks):
+        n_patterns = boundaries[step_idx + 1] - boundaries[step_idx]
+        if n_patterns <= 0:
+            continue
+        share = max(1, n_patterns // max(1, len(blocks)))
+        for block in blocks:
+            tasks.append(
+                BlockTestTask(
+                    block=block,
+                    test_time_us=share * per_pattern_us,
+                    power_mw=scap_by_block_mw.get(block, 0.0),
+                )
+            )
+    return tasks

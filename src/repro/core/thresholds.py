@@ -1,0 +1,48 @@
+"""Per-block SCAP thresholds (paper Sections 2.2 and 2.4).
+
+The paper screens patterns against each block's *statistical average
+switching power over a half-cycle window at 30 % toggle rate* — a
+deliberately pessimistic proxy for the worst functional supply noise the
+block was signed off against.  A pattern whose SCAP exceeds a block's
+threshold risks an IR-drop-induced false delay failure in that block.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import STATISTICAL_TOGGLE_RATE
+from ..pgrid.grid import GridModel
+from ..pgrid.statistical_ir import (
+    block_power_thresholds_mw,
+    statistical_ir_analysis,
+)
+
+
+def derive_scap_thresholds(
+    model: GridModel,
+    domain: Optional[str] = None,
+    toggle_rate: float = STATISTICAL_TOGGLE_RATE,
+    window_fraction: float = 0.5,
+) -> Dict[str, float]:
+    """Per-block SCAP limits in mW (Case-2 statistical power by default).
+
+    Parameters
+    ----------
+    model:
+        The design's power-grid model (carries the design).
+    domain:
+        Clock domain whose period defines the window; defaults to the
+        dominant domain.
+    toggle_rate:
+        Vectorless toggle probability (paper: 0.30).
+    window_fraction:
+        0.5 = the paper's half-cycle switching-time-frame window.
+    """
+    rows = statistical_ir_analysis(
+        model,
+        domain=domain,
+        toggle_rate=toggle_rate,
+        window_fraction=window_fraction,
+    )
+    return block_power_thresholds_mw(rows)

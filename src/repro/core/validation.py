@@ -1,0 +1,97 @@
+"""SCAP screening of a pattern set (paper Section 3.2, Figures 2 & 6).
+
+Runs the SCAP calculator over every pattern and flags, per block, the
+patterns whose SCAP exceeds the block's statistical threshold — the
+patterns at risk of IR-drop-induced false delay failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..power.calculator import ScapCalculator
+from ..power.scap import PatternPowerProfile
+
+
+@dataclass(frozen=True)
+class ScapViolation:
+    """One pattern exceeding one block's SCAP threshold."""
+
+    pattern_index: int
+    block: str
+    scap_mw: float
+    threshold_mw: float
+
+    @property
+    def excess_ratio(self) -> float:
+        return self.scap_mw / self.threshold_mw
+
+
+@dataclass
+class ValidationReport:
+    """SCAP screening result for a whole pattern set."""
+
+    domain: str
+    thresholds_mw: Dict[str, float]
+    profiles: List[PatternPowerProfile]
+    violations: List[ScapViolation] = field(default_factory=list)
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self.profiles)
+
+    def violating_patterns(self, block: Optional[str] = None) -> List[int]:
+        """Sorted indexes of patterns violating (optionally one block)."""
+        hits = {
+            v.pattern_index
+            for v in self.violations
+            if block is None or v.block == block
+        }
+        return sorted(hits)
+
+    def violation_fraction(self, block: Optional[str] = None) -> float:
+        if not self.profiles:
+            return 0.0
+        return len(self.violating_patterns(block)) / len(self.profiles)
+
+    def scap_series(self, block: Optional[str] = None) -> np.ndarray:
+        """Per-pattern SCAP (mW) — the Figure 2 / Figure 6 series."""
+        return np.array([p.scap_mw(block) for p in self.profiles])
+
+    def extreme_patterns(self, block: str) -> Dict[str, int]:
+        """The paper's P1/P2 pick: the worst-SCAP pattern and the
+        pattern closest to (but above or near) the block threshold."""
+        series = self.scap_series(block)
+        if series.size == 0:
+            raise ConfigError("no profiles to pick extremes from")
+        p1 = int(series.argmax())
+        threshold = self.thresholds_mw[block]
+        p2 = int(np.abs(series - threshold).argmin())
+        return {"P1": p1, "P2": p2}
+
+
+def validate_pattern_set(
+    calculator: ScapCalculator,
+    pattern_set,
+    thresholds_mw: Dict[str, float],
+) -> ValidationReport:
+    """Profile every pattern and screen against per-block thresholds."""
+    profiles = calculator.profile_set(pattern_set)
+    violations: List[ScapViolation] = []
+    for profile in profiles:
+        for block, limit in thresholds_mw.items():
+            scap = profile.scap_mw(block)
+            if scap > limit:
+                violations.append(
+                    ScapViolation(profile.pattern_index, block, scap, limit)
+                )
+    return ValidationReport(
+        domain=calculator.domain,
+        thresholds_mw=dict(thresholds_mw),
+        profiles=profiles,
+        violations=violations,
+    )

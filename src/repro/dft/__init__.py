@@ -1,0 +1,39 @@
+"""Design-for-test substrate: scan chains and at-speed test protocols.
+
+Mirrors the paper's DFT setup: full scan with 16 placement-ordered
+chains, negative-edge flops on a dedicated chain, and launch-off-capture
+at-speed testing (launch-off-shift and enhanced scan are provided as the
+related-work baselines).
+"""
+
+from .scan import ScanChain, ScanConfig, insert_scan_chains
+from .chains import order_flops_serpentine, chain_wirelength
+from .protocol import AtSpeedProtocol, LAUNCH_OFF_CAPTURE, LAUNCH_OFF_SHIFT, ENHANCED_SCAN
+from .compression import CompressionResult, EdtCompressor
+from .misr import Misr, capture_responses, signature_of_responses
+from .shift import ShiftActivity, shift_activity_summary, simulate_shift_in
+from .stil import read_stil, write_stil
+from .testpoints import insert_observation_points
+
+__all__ = [
+    "AtSpeedProtocol",
+    "ENHANCED_SCAN",
+    "LAUNCH_OFF_CAPTURE",
+    "LAUNCH_OFF_SHIFT",
+    "CompressionResult",
+    "EdtCompressor",
+    "Misr",
+    "ScanChain",
+    "ScanConfig",
+    "ShiftActivity",
+    "capture_responses",
+    "chain_wirelength",
+    "signature_of_responses",
+    "insert_observation_points",
+    "insert_scan_chains",
+    "order_flops_serpentine",
+    "read_stil",
+    "shift_activity_summary",
+    "simulate_shift_in",
+    "write_stil",
+]

@@ -1,0 +1,218 @@
+"""EDT-style test-data compression (LFSR decompressor + seed solving).
+
+Industrial test compression (TestKompress/EDT) feeds the scan chains
+from a small on-chip LFSR-based decompressor: the tester stores only a
+*seed* per pattern, and the decompressor's pseudo-random expansion fills
+the chains.  Because every scan bit is a GF(2)-linear function of the
+seed, a cube's care bits become a linear system — solvable whenever the
+care count is comfortably below the seed width.
+
+Relevance to the paper: the expansion is pseudo-random, so compressed
+patterns inherit *random-fill switching behaviour* — compression and
+supply-noise-aware fill pull in opposite directions, which the
+compression benchmark quantifies.
+
+Model
+-----
+* one ``n_seed_bits``-wide Fibonacci LFSR, seeded per pattern, clocked
+  once per shift cycle;
+* a phase shifter: each chain's input is the XOR of three fixed LFSR
+  taps (decorrelates adjacent chains);
+* chains shift exactly as in :mod:`repro.dft.shift`: all finish
+  together, a chain of length ``L`` starts at cycle ``L_max - L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ScanError
+from .scan import ScanConfig
+
+#: Fibonacci taps by LFSR width (primitive polynomials).
+_LFSR_TAPS: Dict[int, Sequence[int]] = {
+    24: (24, 23, 22, 17),
+    32: (32, 22, 2, 1),
+    48: (48, 47, 21, 20),
+    64: (64, 63, 61, 60),
+}
+
+
+@dataclass
+class CompressionResult:
+    """Outcome of compressing a pattern set."""
+
+    seeds: List[Optional[int]]  # None = unsolvable (fallback pattern)
+    n_seed_bits: int
+    n_flops: int
+
+    @property
+    def n_compressed(self) -> int:
+        """Cubes successfully turned into seeds."""
+        return sum(1 for s in self.seeds if s is not None)
+
+    @property
+    def fallback_fraction(self) -> float:
+        """Share of cubes that must ship uncompressed."""
+        if not self.seeds:
+            return 0.0
+        return 1.0 - self.n_compressed / len(self.seeds)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Tester-data ratio: chain bits vs seed bits per pattern
+        (fallback patterns ship uncompressed)."""
+        if not self.seeds:
+            return 1.0
+        full = self.n_flops * len(self.seeds)
+        stored = sum(
+            self.n_seed_bits if s is not None else self.n_flops
+            for s in self.seeds
+        )
+        return full / max(1, stored)
+
+
+class EdtCompressor:
+    """Seed solver + expander for one design's scan configuration."""
+
+    def __init__(self, scan: ScanConfig, n_seed_bits: int = 64):
+        if n_seed_bits not in _LFSR_TAPS:
+            raise ScanError(
+                f"unsupported seed width {n_seed_bits}; choose from "
+                f"{sorted(_LFSR_TAPS)}"
+            )
+        self.scan = scan
+        self.n_seed_bits = n_seed_bits
+        self._taps = _LFSR_TAPS[n_seed_bits]
+        self.n_flops = scan.total_cells
+        self._max_len = max(c.length for c in scan.chains)
+
+        # Symbolic LFSR: state[i] is the GF(2) mask (over seed bits) of
+        # register position i.  Initial state: position i = seed bit i.
+        state: List[int] = [1 << i for i in range(n_seed_bits)]
+        n_chains = len(scan.chains)
+
+        def phase_taps(chain_idx: int) -> List[int]:
+            # Chain-dependent spacing: tap triples must not be pure
+            # translations of one another, or a time shift of the LFSR
+            # aliases one chain's stream onto another's (identical
+            # rows -> unsolvable cubes).
+            taps: List[int] = []
+            pos = (chain_idx * 7) % n_seed_bits
+            step = 11 + 2 * chain_idx
+            while len(taps) < 3:
+                if pos not in taps:
+                    taps.append(pos)
+                pos = (pos + step) % n_seed_bits
+                step += 1
+            return taps
+
+        tap_table = [phase_taps(ci) for ci in range(n_chains)]
+
+        def phase_shift(chain_idx: int) -> int:
+            mask = 0
+            for tap in tap_table[chain_idx]:
+                mask ^= state[tap]
+            return mask
+
+        # Row mask per flop: which seed bits XOR into its loaded value.
+        self.row_of_flop: Dict[int, int] = {}
+        for cycle in range(self._max_len):
+            for ci, chain in enumerate(scan.chains):
+                start = self._max_len - chain.length
+                if cycle < start:
+                    continue
+                k = cycle - start  # k-th bit shifted into this chain
+                # The bit entering at shift k lands at position L-1-k.
+                fi = chain.flops[chain.length - 1 - k]
+                self.row_of_flop[fi] = phase_shift(ci)
+            # Clock the LFSR (Fibonacci: new bit = XOR of taps).
+            fb = 0
+            for tap in self._taps:
+                fb ^= state[tap - 1]
+            state = [fb] + state[:-1]
+
+    # ------------------------------------------------------------------
+    def expand(self, seed: int) -> np.ndarray:
+        """Full scan vector produced by a seed."""
+        v1 = np.zeros(self.n_flops, dtype=np.uint8)
+        for fi, row in self.row_of_flop.items():
+            v1[fi] = bin(row & seed).count("1") & 1
+        return v1
+
+    def compress_cube(self, cube: Dict[int, int]) -> Optional[int]:
+        """Solve for a seed reproducing the cube's care bits.
+
+        Returns None when the linear system is inconsistent (too many /
+        conflicting care bits for the seed width).
+        """
+        rows: List[int] = []
+        rhs: List[int] = []
+        for fi, bit in cube.items():
+            row = self.row_of_flop.get(fi)
+            if row is None:
+                if bit & 1:
+                    return None  # cell not fed by the decompressor
+                continue
+            rows.append(row)
+            rhs.append(bit & 1)
+        return _solve_gf2(rows, rhs, self.n_seed_bits)
+
+    def compress_pattern_set(self, pattern_set) -> CompressionResult:
+        """Compress every pattern's care bits; None entries fall back."""
+        seeds: List[Optional[int]] = []
+        for pattern in pattern_set:
+            cube = {
+                fi: int(pattern.v1[fi])
+                for fi in range(pattern.n_flops)
+                if pattern.care[fi]
+            }
+            seeds.append(self.compress_cube(cube))
+        return CompressionResult(
+            seeds=seeds,
+            n_seed_bits=self.n_seed_bits,
+            n_flops=self.n_flops,
+        )
+
+
+def _solve_gf2(
+    rows: List[int], rhs: List[int], n_bits: int
+) -> Optional[int]:
+    """Gaussian elimination over GF(2); any consistent solution."""
+    # Augment: bit n_bits holds the RHS.  Gauss-Jordan: every stored
+    # pivot row is kept clear of all other pivot columns, so reading a
+    # particular solution (free variables = 0) is direct.
+    col_mask = (1 << n_bits) - 1
+    pivots: Dict[int, int] = {}  # column -> fully-reduced row
+    for value in (row | (b << n_bits) for row, b in zip(rows, rhs)):
+        cur = value
+        # Eliminate every existing pivot column from the new row (a
+        # stored pivot row never contains another pivot column, so one
+        # sweep per remaining pivot suffices).
+        while True:
+            hit = False
+            for col, row_val in pivots.items():
+                if (cur >> col) & 1:
+                    cur ^= row_val
+                    hit = True
+            if not hit:
+                break
+        cols = cur & col_mask
+        if cols == 0:
+            if (cur >> n_bits) & 1:
+                return None  # 0 = 1: inconsistent
+            continue  # redundant equation
+        col = cols.bit_length() - 1
+        # Keep the Jordan invariant: clear the new column everywhere.
+        for other_col in list(pivots):
+            if (pivots[other_col] >> col) & 1:
+                pivots[other_col] ^= cur
+        pivots[col] = cur
+    seed = 0
+    for col, row in pivots.items():
+        if (row >> n_bits) & 1:
+            seed |= 1 << col
+    return seed

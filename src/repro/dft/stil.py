@@ -1,0 +1,146 @@
+"""STIL-flavoured pattern interchange (writer and reader).
+
+Commercial flows hand patterns between ATPG, simulation and ATE as STIL
+(IEEE 1450).  This module writes a pattern set in a compact STIL-like
+dialect — enough structure for diffing, archiving and reloading — and
+reads it back:
+
+```
+STIL 1.0;
+Header { Title "..."; Domain clka; Fill random; }
+ScanStructures { Chain 0 { Length 12; Cells f0 f1 ...; } ... }
+Pattern 0 { Targets 2; Care 17; Load 0101...; Mask 0011...; }
+```
+
+``Load`` is the V1 vector over all flops in *flop index order*; ``Mask``
+marks ATPG care bits.  A round-trip preserves everything a
+:class:`~repro.atpg.patterns.PatternSet` carries.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, TextIO
+
+import numpy as np
+
+from ..atpg.patterns import Pattern, PatternSet
+from ..errors import ScanError
+from .scan import ScanConfig
+
+
+def write_stil(
+    pattern_set: PatternSet,
+    stream: TextIO,
+    scan: Optional[ScanConfig] = None,
+    title: str = "repro pattern set",
+) -> None:
+    """Write a pattern set in the STIL-like dialect."""
+    stream.write("STIL 1.0;\n")
+    stream.write("Header {\n")
+    stream.write(f'  Title "{title}";\n')
+    stream.write(f"  Domain {pattern_set.domain};\n")
+    stream.write(f"  Fill {pattern_set.fill};\n")
+    stream.write(f"  Patterns {len(pattern_set)};\n")
+    stream.write("}\n")
+    if scan is not None:
+        stream.write("ScanStructures {\n")
+        for chain in scan.chains:
+            stream.write(
+                f"  Chain {chain.index} {{ Length {chain.length}; "
+                f"Edge {chain.edge}; }}\n"
+            )
+        stream.write("}\n")
+    for pattern in pattern_set:
+        load = "".join(str(int(b)) for b in pattern.v1)
+        mask = "".join("1" if c else "0" for c in pattern.care)
+        targets = ",".join(str(t) for t in pattern.targeted_faults)
+        stream.write(f"Pattern {pattern.index} {{\n")
+        stream.write(f"  Targets {targets or '-'};\n")
+        stream.write(f"  Care {pattern.care_count};\n")
+        stream.write(f"  Load {load};\n")
+        stream.write(f"  Mask {mask};\n")
+        stream.write("}\n")
+
+
+_HEADER_FIELD = re.compile(r"^\s*(\w+)\s+(.+?);\s*$")
+_PATTERN_OPEN = re.compile(r"^\s*Pattern\s+(\d+)\s*\{\s*$")
+
+
+def read_stil(stream: TextIO) -> PatternSet:
+    """Read a pattern set written by :func:`write_stil`.
+
+    Raises
+    ------
+    ScanError
+        On malformed content (wrong magic, truncated pattern blocks,
+        inconsistent vector lengths).
+    """
+    lines = stream.read().splitlines()
+    if not lines or not lines[0].startswith("STIL"):
+        raise ScanError("not a STIL pattern file")
+
+    domain = "clka"
+    fill = "random"
+    patterns: List[Pattern] = []
+    i = 1
+    n_flops: Optional[int] = None
+
+    while i < len(lines):
+        line = lines[i].strip()
+        if line.startswith("Header"):
+            i += 1
+            while i < len(lines) and "}" not in lines[i]:
+                m = _HEADER_FIELD.match(lines[i])
+                if m:
+                    key, value = m.group(1), m.group(2).strip()
+                    if key == "Domain":
+                        domain = value
+                    elif key == "Fill":
+                        fill = value
+                i += 1
+        elif line.startswith("ScanStructures"):
+            while i < len(lines) and not lines[i].strip() == "}":
+                i += 1
+        elif _PATTERN_OPEN.match(line):
+            index = int(_PATTERN_OPEN.match(line).group(1))
+            fields: Dict[str, str] = {}
+            i += 1
+            while i < len(lines) and "}" not in lines[i]:
+                m = _HEADER_FIELD.match(lines[i])
+                if m:
+                    fields[m.group(1)] = m.group(2).strip()
+                i += 1
+            if "Load" not in fields or "Mask" not in fields:
+                raise ScanError(f"pattern {index} missing Load/Mask")
+            load = fields["Load"]
+            mask = fields["Mask"]
+            if len(load) != len(mask):
+                raise ScanError(f"pattern {index}: Load/Mask length differ")
+            if n_flops is None:
+                n_flops = len(load)
+            elif len(load) != n_flops:
+                raise ScanError(
+                    f"pattern {index}: vector length {len(load)} != "
+                    f"{n_flops}"
+                )
+            targets: List[int] = []
+            raw = fields.get("Targets", "-")
+            if raw != "-":
+                targets = [int(t) for t in raw.split(",") if t]
+            patterns.append(
+                Pattern(
+                    index=index,
+                    v1=np.array([int(c) for c in load], dtype=np.uint8),
+                    care=np.array([c == "1" for c in mask], dtype=bool),
+                    domain=domain,
+                    fill=fill,
+                    targeted_faults=targets,
+                )
+            )
+        i += 1
+
+    out = PatternSet(domain, fill=fill)
+    for p in patterns:
+        out.append(p)
+    return out

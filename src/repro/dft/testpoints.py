@@ -1,0 +1,95 @@
+"""Observation test-point insertion.
+
+The generated SOC (like any real design) carries fault mass that the
+launch-off-capture flow cannot observe — reconvergent stems, logic
+feeding only other domains, deep masked cones.  The classic fix is
+test-point insertion; the *observation-only* flavour is functionally
+transparent: a new scan flop simply watches a poorly-observable net.
+
+`insert_observation_points` picks the worst nets by the SCOAP-style
+observability estimate (:mod:`repro.atpg.scoap`) and adds an observing
+scan flop per net, wiring it into the dominant domain so the existing
+LOC machinery captures it.  The new flops extend the scan configuration
+in place (appended to the shortest chains).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..atpg.scoap import analyze_testability
+from ..errors import ScanError
+from ..netlist.netlist import Netlist
+from .scan import ScanConfig
+
+
+def insert_observation_points(
+    netlist: Netlist,
+    scan: ScanConfig,
+    domain: str,
+    n_points: int = 8,
+    min_observability: float = 0.05,
+) -> List[int]:
+    """Add observation scan flops on the least-observable nets.
+
+    Returns the new flop indexes.  Nets already observable above
+    *min_observability*, nets that are flop D pins (already captured)
+    and undriven nets are skipped.
+    """
+    if n_points < 1:
+        raise ScanError("n_points must be >= 1")
+    netlist.freeze()
+    report = analyze_testability(netlist, domain)
+
+    already_captured = {f.d for f in netlist.flops}
+    candidates: List[Tuple[float, int]] = []
+    for net in range(netlist.n_nets):
+        if netlist.driver_of(net) is None:
+            continue
+        if net in already_captured:
+            continue
+        obs = float(report.observability[net])
+        if obs < min_observability:
+            candidates.append((obs, net))
+    candidates.sort()
+    chosen = [net for _obs, net in candidates[:n_points]]
+
+    new_flops: List[int] = []
+    for k, net in enumerate(chosen):
+        drv = netlist.driver_of(net)
+        pos = None
+        block = None
+        if drv is not None and drv[0] == "gate":
+            pos = netlist.gates[drv[1]].pos
+            block = netlist.gates[drv[1]].block
+        elif drv is not None and drv[0] == "flop":
+            pos = netlist.flops[drv[1]].pos
+            block = netlist.flops[drv[1]].block
+        q = netlist.add_net(f"tp_obs_q{k}_{net}")
+        fi = netlist.add_flop(
+            f"tp_obs_f{k}_{net}",
+            "SDFFX1",
+            d=net,
+            q=q,
+            clock_domain=domain,
+            edge="pos",
+            is_scan=True,
+            block=block,
+            pos=pos,
+        )
+        new_flops.append(fi)
+
+    # Extend the scan chains: shortest positive-edge chain first.
+    pos_chains = [c for c in scan.chains if c.edge == "pos"]
+    if not pos_chains:
+        raise ScanError("no positive-edge chains to extend")
+    for fi in new_flops:
+        chain = min(pos_chains, key=lambda c: c.length)
+        chain.flops.append(fi)
+        netlist.flops[fi].chain = chain.index
+        netlist.flops[fi].chain_pos = chain.length - 1
+        scan.chain_of_flop[fi] = chain.index
+
+    netlist._invalidate()
+    netlist.freeze()
+    return new_flops

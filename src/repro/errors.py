@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library-level failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """A structural problem in a gate-level netlist.
+
+    Raised for duplicate drivers, dangling nets, unknown cell kinds,
+    combinational loops and similar integrity violations.
+    """
+
+
+class LibraryError(ReproError):
+    """An unknown cell was requested from a standard-cell library."""
+
+
+class ScanError(ReproError):
+    """A design-for-test (scan) structure is inconsistent.
+
+    Examples: a flop assigned to two chains, a shift applied with the
+    wrong vector length, or a chain referencing a non-scan flop.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out on the given design/stimulus."""
+
+
+class AtpgError(ReproError):
+    """Test generation failed in a way that is not a normal abort.
+
+    Normal PODEM aborts (backtrack limit) are reported through return
+    values, not exceptions; this exception marks malformed fault targets
+    or inconsistent two-frame models.
+    """
+
+
+class PowerGridError(ReproError):
+    """The power-grid model is malformed or the solve is ill-conditioned."""
+
+
+class ConfigError(ReproError):
+    """An invalid parameter value was supplied to a constructor or flow."""

@@ -1,0 +1,121 @@
+"""Fanout buffering — the standard post-synthesis netlist repair.
+
+High-fanout nets (enable lines, widely-read status bits) are slow and
+electrically fragile; physical synthesis splits their loads across a
+buffer tree.  :func:`insert_fanout_buffers` performs that repair on our
+netlists: any net driving more than ``max_fanout`` sinks gets its loads
+partitioned into groups, each fed through a new buffer, recursively
+until every net is within budget.
+
+The transformation is logically transparent (buffers are identity) —
+tests verify simulation equivalence — and improves loaded delays by
+splitting capacitance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from .netlist import Netlist
+
+
+def fanout_violations(
+    netlist: Netlist, max_fanout: int
+) -> List[Tuple[int, int]]:
+    """Nets whose sink count exceeds *max_fanout*: ``(net, fanout)``.
+
+    Sinks are gate input pins plus flop D pins (primary outputs are
+    chip pads, not cell loads).
+    """
+    if max_fanout < 2:
+        raise NetlistError("max_fanout must be >= 2")
+    netlist.freeze()
+    out: List[Tuple[int, int]] = []
+    for net in range(netlist.n_nets):
+        fanout = len(netlist.gate_fanouts_of(net)) + len(
+            netlist.flop_d_loads_of(net)
+        )
+        if fanout > max_fanout:
+            out.append((net, fanout))
+    return out
+
+
+def insert_fanout_buffers(
+    netlist: Netlist,
+    max_fanout: int = 12,
+    buffer_cell: str = "BUFX4",
+) -> int:
+    """Buffer every over-loaded net in place; returns buffers added.
+
+    Loads keep their order; each group of ``max_fanout`` sinks moves
+    behind a new buffer placed at the driver's location.  If the number
+    of groups itself exceeds the budget, the pass repeats (building a
+    tree level by level) until the design is clean.
+    """
+    total_added = 0
+    guard = 32  # tree depth guard; log_f(fanout) levels in practice
+    while guard:
+        guard -= 1
+        violations = fanout_violations(netlist, max_fanout)
+        if not violations:
+            return total_added
+        for net, _fanout in violations:
+            total_added += _buffer_one_net(
+                netlist, net, max_fanout, buffer_cell
+            )
+    raise NetlistError("fanout buffering did not converge")
+
+
+def _buffer_one_net(
+    netlist: Netlist, net: int, max_fanout: int, buffer_cell: str
+) -> int:
+    netlist.freeze()
+    gate_loads = list(netlist.gate_fanouts_of(net))
+    flop_loads = list(netlist.flop_d_loads_of(net))
+    loads: List[Tuple[str, int, int]] = [
+        ("gate", gi, pin) for gi, pin in gate_loads
+    ] + [("flop", fi, 0) for fi in flop_loads]
+    if len(loads) <= max_fanout:
+        return 0
+
+    drv = netlist.driver_of(net)
+    pos = None
+    block = None
+    if drv is not None and drv[0] == "gate":
+        pos = netlist.gates[drv[1]].pos
+        block = netlist.gates[drv[1]].block
+    elif drv is not None and drv[0] == "flop":
+        pos = netlist.flops[drv[1]].pos
+        block = netlist.flops[drv[1]].block
+
+    base_name = netlist.net_names[net]
+    added = 0
+    # Move every load behind a buffer: the net's new fanout is the
+    # buffer count (ceil(n / max_fanout) < n), so repeated passes build
+    # a tree and always converge.
+    groups = [
+        loads[i:i + max_fanout] for i in range(0, len(loads), max_fanout)
+    ]
+    for gidx, group in enumerate(groups):
+        uid = netlist.n_nets  # globally unique suffix across passes
+        buf_out = netlist.add_net(f"{base_name}__buf{uid}")
+        netlist.add_gate(
+            f"fobuf_{base_name}_{uid}",
+            buffer_cell,
+            [net],
+            buf_out,
+            block=block,
+            pos=pos,
+        )
+        added += 1
+        for kind, idx, pin in group:
+            if kind == "gate":
+                gate = netlist.gates[idx]
+                new_inputs = list(gate.inputs)
+                new_inputs[pin] = buf_out
+                gate.inputs = tuple(new_inputs)
+            else:
+                netlist.flops[idx].d = buf_out
+    netlist._invalidate()
+    return added

@@ -1,0 +1,199 @@
+"""Combinational cell kinds and their bit-parallel logic functions.
+
+Logic values are packed into arbitrary-precision Python integers, one bit
+per pattern, so a single evaluation of a gate computes its output for
+every pattern in a batch at once.  Inverting operators therefore need the
+batch ``mask`` (``(1 << n_patterns) - 1``) to avoid Python's infinite
+two's-complement sign extension.
+
+The registry :data:`CELL_FUNCTIONS` maps a cell *kind* (the abstract
+logic function, e.g. ``"NAND2"``) to its evaluator; the standard-cell
+library maps concrete cell names to kinds plus electrical data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..errors import NetlistError
+
+LogicFn = Callable[[Sequence[int], int], int]
+
+
+def _inv(ins: Sequence[int], mask: int) -> int:
+    return ~ins[0] & mask
+
+
+def _buf(ins: Sequence[int], mask: int) -> int:
+    return ins[0] & mask
+
+
+def _and(ins: Sequence[int], mask: int) -> int:
+    out = mask
+    for v in ins:
+        out &= v
+    return out
+
+
+def _nand(ins: Sequence[int], mask: int) -> int:
+    return ~_and(ins, mask) & mask
+
+
+def _or(ins: Sequence[int], mask: int) -> int:
+    out = 0
+    for v in ins:
+        out |= v
+    return out & mask
+
+
+def _nor(ins: Sequence[int], mask: int) -> int:
+    return ~_or(ins, mask) & mask
+
+
+def _xor2(ins: Sequence[int], mask: int) -> int:
+    return (ins[0] ^ ins[1]) & mask
+
+
+def _xnor2(ins: Sequence[int], mask: int) -> int:
+    return ~(ins[0] ^ ins[1]) & mask
+
+
+def _mux2(ins: Sequence[int], mask: int) -> int:
+    """2:1 multiplexer, inputs ordered ``(d0, d1, sel)``."""
+    d0, d1, sel = ins
+    return ((d0 & ~sel) | (d1 & sel)) & mask
+
+
+def _aoi21(ins: Sequence[int], mask: int) -> int:
+    """AND-OR-invert: ``~((a & b) | c)`` with inputs ``(a, b, c)``."""
+    a, b, c = ins
+    return ~((a & b) | c) & mask
+
+
+def _oai21(ins: Sequence[int], mask: int) -> int:
+    """OR-AND-invert: ``~((a | b) & c)`` with inputs ``(a, b, c)``."""
+    a, b, c = ins
+    return ~((a | b) & c) & mask
+
+
+def _tie0(ins: Sequence[int], mask: int) -> int:
+    return 0
+
+
+def _tie1(ins: Sequence[int], mask: int) -> int:
+    return mask
+
+
+#: Kind name -> bit-parallel evaluator.
+CELL_FUNCTIONS: Dict[str, LogicFn] = {
+    "INV": _inv,
+    "BUF": _buf,
+    "CLKBUF": _buf,
+    "AND2": _and,
+    "AND3": _and,
+    "AND4": _and,
+    "NAND2": _nand,
+    "NAND3": _nand,
+    "NAND4": _nand,
+    "OR2": _or,
+    "OR3": _or,
+    "OR4": _or,
+    "NOR2": _nor,
+    "NOR3": _nor,
+    "NOR4": _nor,
+    "XOR2": _xor2,
+    "XNOR2": _xnor2,
+    "MUX2": _mux2,
+    "AOI21": _aoi21,
+    "OAI21": _oai21,
+    "TIE0": _tie0,
+    "TIE1": _tie1,
+}
+
+#: Kind name -> number of inputs.
+CELL_ARITY: Dict[str, int] = {
+    "INV": 1,
+    "BUF": 1,
+    "CLKBUF": 1,
+    "AND2": 2,
+    "AND3": 3,
+    "AND4": 4,
+    "NAND2": 2,
+    "NAND3": 3,
+    "NAND4": 4,
+    "OR2": 2,
+    "OR3": 3,
+    "OR4": 4,
+    "NOR2": 2,
+    "NOR3": 3,
+    "NOR4": 4,
+    "XOR2": 2,
+    "XNOR2": 2,
+    "MUX2": 3,
+    "AOI21": 3,
+    "OAI21": 3,
+    "TIE0": 0,
+    "TIE1": 0,
+}
+
+#: Sequential cell kinds; these never appear as combinational gates.
+SEQUENTIAL_KINDS = frozenset({"DFF", "SDFF", "DFFN", "SDFFN"})
+
+#: Kinds whose output inverts when exactly one input inverts (used by
+#: transition-fault equivalence collapsing through inverter chains).
+INVERTING_SINGLE_INPUT_KINDS = frozenset({"INV"})
+NONINVERTING_SINGLE_INPUT_KINDS = frozenset({"BUF", "CLKBUF"})
+
+
+def is_combinational_kind(kind: str) -> bool:
+    """Return True if *kind* names a known combinational cell kind."""
+    return kind in CELL_FUNCTIONS
+
+
+def evaluate_kind(kind: str, inputs: Sequence[int], mask: int) -> int:
+    """Evaluate one combinational cell kind on packed pattern words.
+
+    Parameters
+    ----------
+    kind:
+        A key of :data:`CELL_FUNCTIONS`.
+    inputs:
+        Packed input words, one per input pin, in pin order.
+    mask:
+        ``(1 << n_patterns) - 1``.
+
+    Raises
+    ------
+    NetlistError
+        If *kind* is unknown or the input count does not match its arity.
+    """
+    fn = CELL_FUNCTIONS.get(kind)
+    if fn is None:
+        raise NetlistError(f"unknown combinational cell kind {kind!r}")
+    if len(inputs) != CELL_ARITY[kind]:
+        raise NetlistError(
+            f"{kind} expects {CELL_ARITY[kind]} inputs, got {len(inputs)}"
+        )
+    return fn(inputs, mask)
+
+
+def controlling_value(kind: str) -> int | None:
+    """Return the controlling input value of *kind*, if it has one.
+
+    AND/NAND are controlled by 0, OR/NOR by 1; XOR/XNOR/BUF/INV/MUX have
+    no controlling value (None).  Used by PODEM's backtrace heuristics.
+    """
+    if kind.startswith(("AND", "NAND")):
+        return 0
+    if kind.startswith(("OR", "NOR")):
+        return 1
+    return None
+
+
+def output_inversion(kind: str) -> bool:
+    """Whether the kind's output is an inverted function of its inputs.
+
+    Only meaningful for kinds with a controlling value plus INV/BUF; used
+    for backtrace parity bookkeeping.
+    """
+    return kind.startswith(("NAND", "NOR")) or kind in ("INV", "AOI21", "OAI21")

@@ -1,0 +1,69 @@
+"""Topological levelisation of a netlist's combinational core.
+
+Gates are ordered so that every gate appears after all gates driving its
+inputs.  Sources (level 0 upstream) are primary inputs, flop Q outputs
+and tie cells.  A combinational loop raises :class:`NetlistError` and
+names one net on the cycle to aid debugging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+from ..errors import NetlistError
+from .netlist import Netlist
+
+
+def levelize(netlist: Netlist) -> Tuple[List[int], List[int]]:
+    """Return ``(order, level)`` for the combinational gates.
+
+    ``order`` lists gate indexes in evaluation order; ``level[gi]`` is the
+    logic depth of gate ``gi`` (0 = all inputs are sequential/primary
+    sources).
+
+    Raises
+    ------
+    NetlistError
+        If a combinational cycle exists.
+    """
+    netlist.freeze()
+    n_gates = len(netlist.gates)
+    pending = [0] * n_gates  # unresolved gate-driven inputs
+    level = [0] * n_gates
+
+    for gi, gate in enumerate(netlist.gates):
+        for net in gate.inputs:
+            drv = netlist.driver_of(net)
+            if drv is not None and drv[0] == "gate":
+                pending[gi] += 1
+
+    ready = deque(gi for gi in range(n_gates) if pending[gi] == 0)
+    order: List[int] = []
+    while ready:
+        gi = ready.popleft()
+        order.append(gi)
+        out_net = netlist.gates[gi].output
+        for lgi, _pin in netlist.gate_fanouts_of(out_net):
+            pending[lgi] -= 1
+            if level[gi] + 1 > level[lgi]:
+                level[lgi] = level[gi] + 1
+            if pending[lgi] == 0:
+                ready.append(lgi)
+
+    if len(order) != n_gates:
+        stuck = next(gi for gi in range(n_gates) if pending[gi] > 0)
+        net_name = netlist.net_names[netlist.gates[stuck].output]
+        raise NetlistError(
+            f"combinational loop detected (involves net {net_name!r}); "
+            f"{n_gates - len(order)} gates unplaceable"
+        )
+    return order, level
+
+
+def max_logic_depth(netlist: Netlist) -> int:
+    """Depth of the deepest combinational path (0 for gate-free designs)."""
+    order, level = levelize(netlist)
+    if not order:
+        return 0
+    return max(level) + 1

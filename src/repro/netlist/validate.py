@@ -1,0 +1,85 @@
+"""Structural linting of a netlist.
+
+`check_netlist` runs the integrity checks a physical-design handoff
+would: single driver per net, no floating gate inputs, no combinational
+loops, library membership, scan-chain field consistency.  It returns the
+list of human-readable issues and can optionally raise on the first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import NetlistError
+from .levelize import levelize
+from .netlist import Netlist
+
+
+def check_netlist(netlist: Netlist, raise_on_error: bool = False) -> List[str]:
+    """Run all structural checks; return the list of issues found.
+
+    Parameters
+    ----------
+    netlist:
+        The design to lint.
+    raise_on_error:
+        When True, raise :class:`NetlistError` with the combined issue
+        list if any check fails.
+    """
+    issues: List[str] = []
+
+    # Driver integrity (duplicate drivers raise inside freeze()).
+    try:
+        netlist.freeze()
+    except NetlistError as exc:
+        issues.append(str(exc))
+        if raise_on_error:
+            raise
+        return issues
+
+    driven = set(netlist.primary_inputs)
+    driven.update(g.output for g in netlist.gates)
+    driven.update(f.q for f in netlist.flops)
+
+    for gi, gate in enumerate(netlist.gates):
+        if gate.cell not in netlist.library:
+            issues.append(f"gate {gate.name!r} uses unknown cell {gate.cell!r}")
+        for pin, net in enumerate(gate.inputs):
+            if net not in driven:
+                issues.append(
+                    f"gate {gate.name!r} pin {pin} reads floating net "
+                    f"{netlist.net_names[net]!r}"
+                )
+
+    for flop in netlist.flops:
+        if flop.cell not in netlist.library:
+            issues.append(f"flop {flop.name!r} uses unknown cell {flop.cell!r}")
+        if flop.d not in driven:
+            issues.append(
+                f"flop {flop.name!r} D pin reads floating net "
+                f"{netlist.net_names[flop.d]!r}"
+            )
+        if (flop.chain is None) != (flop.chain_pos is None):
+            issues.append(
+                f"flop {flop.name!r} has inconsistent chain assignment "
+                f"(chain={flop.chain}, chain_pos={flop.chain_pos})"
+            )
+        if flop.chain is not None and not flop.is_scan:
+            issues.append(
+                f"flop {flop.name!r} is on chain {flop.chain} but not scan"
+            )
+
+    for net in netlist.primary_outputs:
+        if net not in driven:
+            issues.append(
+                f"primary output {netlist.net_names[net]!r} is undriven"
+            )
+
+    try:
+        levelize(netlist)
+    except NetlistError as exc:
+        issues.append(str(exc))
+
+    if issues and raise_on_error:
+        raise NetlistError("; ".join(issues))
+    return issues

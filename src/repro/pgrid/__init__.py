@@ -1,0 +1,26 @@
+"""Power-delivery-network modelling and IR-drop analysis
+(the SOC-Encounter rail-analysis substitute).
+
+* :mod:`~repro.pgrid.grid` — resistive VDD/VSS grids with periphery
+  pads, cell taps and a cached sparse factorisation,
+* :mod:`~repro.pgrid.statistical_ir` — vectorless IR-drop (Table 3),
+* :mod:`~repro.pgrid.dynamic_ir` — per-pattern dynamic IR-drop
+  (Table 4, Figure 3) including per-instance droop for delay scaling,
+* :mod:`~repro.pgrid.maps` — IR-drop map rendering.
+"""
+
+from .grid import GridModel, PowerGrid
+from .statistical_ir import StatisticalIrRow, statistical_ir_analysis
+from .dynamic_ir import DynamicIrResult, dynamic_ir_for_pattern
+from .maps import render_ir_map, red_fraction
+
+__all__ = [
+    "DynamicIrResult",
+    "GridModel",
+    "PowerGrid",
+    "StatisticalIrRow",
+    "dynamic_ir_for_pattern",
+    "red_fraction",
+    "render_ir_map",
+    "statistical_ir_analysis",
+]

@@ -1,0 +1,71 @@
+"""IR-drop map rendering (the Figure 3 substitute).
+
+Renders a grid-node drop vector as an ASCII heat map where ``#`` marks
+the paper's "red" region (> 10 % of VDD) and digits bucket the rest, and
+provides CSV export for plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+import numpy as np
+
+from ..config import IR_DROP_RED_FRACTION, VDD_NOMINAL
+from .grid import PowerGrid
+
+#: Drop buckets as fractions of the red threshold.
+_LEVELS = " .:-=+*%@"
+
+
+def red_fraction(
+    drop: np.ndarray,
+    vdd: float = VDD_NOMINAL,
+    threshold_fraction: float = IR_DROP_RED_FRACTION,
+) -> float:
+    """Fraction of nodes above the red threshold (10 % of VDD)."""
+    return float((drop > threshold_fraction * vdd).mean())
+
+
+def render_ir_map(
+    grid: PowerGrid,
+    drop: np.ndarray,
+    vdd: float = VDD_NOMINAL,
+    threshold_fraction: float = IR_DROP_RED_FRACTION,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII heat map of one rail's drop, red region marked ``#``."""
+    field = grid.drop_grid(drop)
+    limit = threshold_fraction * vdd
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * grid.nx + "+")
+    # Render top row (max y) first, like a floorplan.
+    for iy in reversed(range(grid.ny)):
+        row = []
+        for ix in range(grid.nx):
+            v = field[iy, ix]
+            if v > limit:
+                row.append("#")
+            else:
+                bucket = int(v / limit * (len(_LEVELS) - 1))
+                row.append(_LEVELS[min(bucket, len(_LEVELS) - 1)])
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * grid.nx + "+")
+    lines.append(
+        f"worst {drop.max()*1000:.0f} mV, red(> {limit*1000:.0f} mV) "
+        f"{red_fraction(drop, vdd, threshold_fraction)*100:.1f} % of die"
+    )
+    return "\n".join(lines)
+
+
+def ir_map_csv(grid: PowerGrid, drop: np.ndarray) -> str:
+    """CSV dump (x_um, y_um, drop_v) of a drop vector."""
+    buf = io.StringIO()
+    buf.write("x_um,y_um,drop_v\n")
+    for node in range(grid.n_nodes):
+        x, y = grid.node_position(node)
+        buf.write(f"{x:.1f},{y:.1f},{drop[node]:.6f}\n")
+    return buf.getvalue()

@@ -1,0 +1,28 @@
+"""Power models: CAP, SCAP, statistical (vectorless) analysis and the
+per-pattern SCAP calculator (the paper's VCS-PLI substitute).
+"""
+
+from .energy import (
+    active_clock_buffers,
+    clock_tree_cycle_energy_fj,
+    gated_clock_buffer_energies_fj,
+    pattern_energy_by_net,
+)
+from .scap import PatternPowerProfile
+from .statistical import BlockPowerStats, statistical_block_power
+from .calculator import ScapCalculator
+from .waveform_power import PowerWaveform, power_waveform, render_waveform_ascii
+
+__all__ = [
+    "BlockPowerStats",
+    "PatternPowerProfile",
+    "PowerWaveform",
+    "ScapCalculator",
+    "active_clock_buffers",
+    "clock_tree_cycle_energy_fj",
+    "gated_clock_buffer_energies_fj",
+    "pattern_energy_by_net",
+    "power_waveform",
+    "render_waveform_ascii",
+    "statistical_block_power",
+]

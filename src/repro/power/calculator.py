@@ -1,0 +1,166 @@
+"""The SCAP calculator — the paper's Figure 5 flow as working code.
+
+The paper plugs a PLI routine into Synopsys VCS gate-level timing
+simulation: it watches every net transition inside the launch-to-capture
+window, charges the instance's extracted output capacitance, tracks the
+switching time frame window and reports per-pattern SCAP without writing
+VCD files.  :class:`ScapCalculator` is the same measurement loop built
+on our own simulators:
+
+``design (netlist) + patterns  ->  timing simulation (event/fast)
++ extracted parasitics (C_i)   ->  per-pattern power profile``
+
+It also returns the raw :class:`~repro.sim.event.TimingResult` when the
+caller needs arrivals (endpoint delays, dynamic IR-drop).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import VDD_NOMINAL
+from ..errors import ConfigError, SimulationError
+from ..sim.delays import DelayModel
+from ..sim.event import EventTimingSim, TimingResult, build_launch_events
+from ..sim.fasttiming import FastTimingSim
+from ..sim.logic import LogicSim, launch_capture_with_state, loc_launch_capture
+from ..soc.design import SocDesign
+from .scap import PatternPowerProfile
+
+ENGINES = ("event", "fast")
+
+
+class ScapCalculator:
+    """Per-pattern SCAP measurement for one design + clock domain."""
+
+    def __init__(
+        self,
+        design: SocDesign,
+        domain: Optional[str] = None,
+        engine: str = "event",
+        vdd: float = VDD_NOMINAL,
+        delays: Optional[DelayModel] = None,
+    ):
+        if engine not in ENGINES:
+            raise ConfigError(f"engine must be one of {ENGINES}")
+        self.design = design
+        self.domain = domain if domain is not None else design.dominant_domain()
+        if self.domain not in design.domains:
+            raise ConfigError(f"unknown domain {self.domain!r}")
+        self.engine = engine
+        self.vdd = vdd
+        self.period_ns = design.domains[self.domain].period_ns
+
+        netlist = design.netlist
+        self.logic = LogicSim(netlist)
+        self.delays = (
+            delays if delays is not None
+            else DelayModel(netlist, design.parasitics)
+        )
+        self._event = EventTimingSim(
+            netlist, self.delays, design.parasitics, vdd
+        )
+        self._fast = FastTimingSim(
+            netlist, self.delays, design.parasitics, vdd
+        )
+
+        # Launch-edge clock arrival per pulsed flop.  Negative-edge cells
+        # (dedicated chain) are masked during the at-speed cycle and do
+        # not launch.
+        tree = design.clock_trees[self.domain]
+        self.launch_time: Dict[int, float] = {}
+        for fi, flop in enumerate(netlist.flops):
+            if flop.clock_domain != self.domain or flop.edge != "pos":
+                continue
+            self.launch_time[fi] = tree.insertion_delay_ns(fi)
+
+    # ------------------------------------------------------------------
+    def simulate_pattern(
+        self,
+        v1: Dict[int, int],
+        record_trace: bool = False,
+        protocol: str = "loc",
+        v2: Optional[Dict[int, int]] = None,
+    ) -> TimingResult:
+        """Timing-simulate one pattern's launch-to-capture cycle.
+
+        ``protocol`` selects the launch mechanism: ``"loc"`` (default),
+        ``"los"`` (V2 = V1 shifted along the scan chains; the design
+        must carry a scan config) or ``"es"`` (explicit ``v2``).
+        """
+        if protocol == "loc":
+            cyc = loc_launch_capture(self.logic, v1, self.domain)
+        elif protocol == "los":
+            if self.design.scan is None:
+                raise ConfigError("LOS simulation needs scan chains")
+            shifted: Dict[int, int] = {}
+            for chain in self.design.scan.chains:
+                for pos, fi in enumerate(chain.flops):
+                    shifted[fi] = (
+                        0 if pos == 0 else v1.get(chain.flops[pos - 1], 0)
+                    )
+            cyc = launch_capture_with_state(
+                self.logic, v1, shifted, self.domain
+            )
+        elif protocol == "es":
+            if v2 is None:
+                raise ConfigError("enhanced-scan simulation needs v2")
+            cyc = launch_capture_with_state(self.logic, v1, v2, self.domain)
+        else:
+            raise ConfigError(f"unknown protocol {protocol!r}")
+        launch = {fi: cyc.launch_state[fi] for fi in self.launch_time}
+        if self.engine == "event":
+            events = build_launch_events(
+                self.design.netlist,
+                cyc.frame1,
+                launch,
+                self.launch_time,
+                self.delays.flop_ck2q_ns,
+            )
+            return self._event.simulate(
+                cyc.frame1,
+                events,
+                capture_time_ns=self.period_ns,
+                record_trace=record_trace,
+            )
+        return self._fast.simulate(
+            cyc.frame1,
+            cyc.frame2,
+            launch,
+            self.launch_time,
+            capture_time_ns=self.period_ns,
+        )
+
+    def profile_pattern(
+        self, pattern, index: Optional[int] = None
+    ) -> PatternPowerProfile:
+        """SCAP/CAP profile of one pattern (Pattern object or v1 dict)."""
+        v1, idx = _as_v1(pattern, index)
+        result = self.simulate_pattern(v1)
+        return PatternPowerProfile.from_timing(idx, self.period_ns, result)
+
+    def profile_pattern_with_timing(
+        self, pattern, index: Optional[int] = None
+    ) -> Tuple[PatternPowerProfile, TimingResult]:
+        """Profile plus the raw timing result (arrivals for IR/endpoints)."""
+        v1, idx = _as_v1(pattern, index)
+        result = self.simulate_pattern(v1)
+        return (
+            PatternPowerProfile.from_timing(idx, self.period_ns, result),
+            result,
+        )
+
+    def profile_set(self, pattern_set) -> List[PatternPowerProfile]:
+        """Profile every pattern of a :class:`PatternSet` in order."""
+        return [self.profile_pattern(p) for p in pattern_set]
+
+
+def _as_v1(pattern, index: Optional[int]) -> Tuple[Dict[int, int], int]:
+    if isinstance(pattern, dict):
+        if index is None:
+            raise ConfigError("pass index= when profiling a raw v1 dict")
+        return pattern, index
+    v1 = pattern.v1_dict()
+    return v1, pattern.index if index is None else index

@@ -1,0 +1,86 @@
+"""Switched-energy bookkeeping helpers.
+
+All dynamic energy in the reproduction is ``C * VDD^2`` per net toggle
+(femtofarads and volts give femtojoules), matching the paper's CAP/SCAP
+definitions; these helpers derive per-net and clock-tree energies used
+by the power and IR-drop layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import VDD_NOMINAL
+from ..netlist.parasitics import ParasiticModel
+from ..sim.event import TimingResult
+from ..soc.clocks import ClockTree
+
+
+def pattern_energy_by_net(
+    result: TimingResult,
+    parasitics: ParasiticModel,
+    vdd: float = VDD_NOMINAL,
+) -> np.ndarray:
+    """Energy (fJ) dissipated on each net during a simulated cycle."""
+    return result.toggles * parasitics.net_cap_ff * vdd * vdd
+
+
+def clock_tree_cycle_energy_fj(
+    tree: ClockTree, vdd: float = VDD_NOMINAL, edges: int = 2
+) -> float:
+    """Energy of the clock tree over one test cycle.
+
+    Every buffer output toggles once per clock edge; a launch-to-capture
+    cycle has two edges (``edges=2``), a single-edge window one.
+    """
+    return tree.switched_cap_ff() * vdd * vdd * edges
+
+
+def clock_buffer_energies_fj(
+    tree: ClockTree, vdd: float = VDD_NOMINAL, edges: int = 1
+) -> Dict[int, float]:
+    """Per-buffer switched energy (fJ) for the given number of edges.
+
+    Keyed by buffer index within the tree; used to inject clock-network
+    currents at the right floorplan locations during IR analysis.
+    """
+    lib = tree.library
+    out: Dict[int, float] = {}
+    for bi, buf in enumerate(tree.buffers):
+        cap = lib.cell(buf.cell).output_cap_ff + buf.load_ff
+        out[bi] = cap * vdd * vdd * edges
+    return out
+
+
+def active_clock_buffers(tree: ClockTree, active_flops) -> set:
+    """Buffers that must toggle when only *active_flops* need clocks.
+
+    Models ideal clock gating: a leaf buffer is live when any of its
+    flops is active; an interior buffer when any descendant leaf is —
+    computed by walking each live leaf's path to the root.
+    """
+    active = set()
+    flops = set(active_flops)
+    for fi, leaf in tree.leaf_of_flop.items():
+        if fi in flops:
+            active.update(tree.path_to_root(leaf))
+    return active
+
+
+def gated_clock_buffer_energies_fj(
+    tree: ClockTree,
+    active_flops,
+    vdd: float = VDD_NOMINAL,
+    edges: int = 1,
+) -> Dict[int, float]:
+    """Per-buffer energies under ideal clock gating.
+
+    Buffers outside the active cone contribute zero (their integrated
+    clock gates hold them quiet); live buffers toggle as usual.
+    """
+    live = active_clock_buffers(tree, active_flops)
+    energies = clock_buffer_energies_fj(tree, vdd, edges)
+    return {bi: (e if bi in live else 0.0)
+            for bi, e in energies.items()}

@@ -1,0 +1,82 @@
+"""CAP and SCAP — the paper's per-pattern power models (Section 2.3).
+
+For pattern *j*:
+
+* ``CAP_j  = (sum C_i * VDD^2) / T`` — cycle average power: switched
+  energy averaged over the whole tester cycle,
+* ``SCAP_j = (sum C_i * VDD^2) / STW_j`` — switching cycle average
+  power: the same energy averaged over the pattern's own switching time
+  frame window.
+
+A pattern with modest total switching but a short STW is a high-SCAP
+(and thus high-IR-drop-risk) pattern even though its CAP looks benign —
+that is the paper's core observation (Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import joules_to_milliwatts
+from ..errors import ConfigError
+from ..sim.event import TimingResult
+
+
+@dataclass(frozen=True)
+class PatternPowerProfile:
+    """Per-pattern power measurements from one timing simulation."""
+
+    pattern_index: int
+    period_ns: float
+    stw_ns: float
+    n_transitions: int
+    energy_fj_total: float
+    energy_fj_by_block: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.period_ns <= 0:
+            raise ConfigError("period must be positive")
+
+    # ------------------------------------------------------------------
+    def energy_fj(self, block: Optional[str] = None) -> float:
+        if block is None:
+            return self.energy_fj_total
+        return self.energy_fj_by_block.get(block, 0.0)
+
+    def cap_mw(self, block: Optional[str] = None) -> float:
+        """Cycle average power (whole tester cycle)."""
+        return joules_to_milliwatts(self.energy_fj(block), self.period_ns)
+
+    def scap_mw(self, block: Optional[str] = None) -> float:
+        """Switching cycle average power (STW window).
+
+        A quiet pattern (no transitions, STW = 0) has zero SCAP.
+        """
+        if self.stw_ns <= 0.0:
+            return 0.0
+        return joules_to_milliwatts(self.energy_fj(block), self.stw_ns)
+
+    @property
+    def scap_to_cap_ratio(self) -> float:
+        """SCAP/CAP = period/STW; ≈2 when the STW is half the cycle."""
+        if self.stw_ns <= 0.0:
+            return 0.0
+        return self.period_ns / self.stw_ns
+
+    @classmethod
+    def from_timing(
+        cls,
+        pattern_index: int,
+        period_ns: float,
+        result: TimingResult,
+    ) -> "PatternPowerProfile":
+        """Build a profile straight from a timing-simulation result."""
+        return cls(
+            pattern_index=pattern_index,
+            period_ns=period_ns,
+            stw_ns=result.stw_ns,
+            n_transitions=result.n_transitions,
+            energy_fj_total=result.energy_fj_total,
+            energy_fj_by_block=dict(result.energy_fj_by_block),
+        )

@@ -1,0 +1,153 @@
+"""Time-resolved power: current waveforms and peak-power metrics.
+
+CAP and SCAP are single-number averages; the underlying physics is a
+current *waveform* — the paper's point is precisely that the same
+energy squeezed into a shorter window is a larger (and more damaging)
+current.  This module bins a traced event simulation into time slices
+and reports instantaneous power/current, the peak slice, and per-block
+waveforms — useful for visualising why a high-SCAP pattern stresses the
+grid and for choosing dynamic-IR analysis windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import VDD_NOMINAL
+from ..errors import SimulationError
+from ..netlist.netlist import Netlist
+from ..netlist.parasitics import ParasiticModel
+from ..sim.event import TimingResult
+
+
+@dataclass
+class PowerWaveform:
+    """Binned instantaneous power over one launch-to-capture cycle."""
+
+    bin_edges_ns: np.ndarray  # length n_bins + 1
+    power_mw: np.ndarray  # length n_bins
+    power_mw_by_block: Dict[str, np.ndarray]
+    vdd: float = VDD_NOMINAL
+
+    @property
+    def n_bins(self) -> int:
+        """Number of time bins."""
+        return int(self.power_mw.shape[0])
+
+    @property
+    def bin_width_ns(self) -> float:
+        """Width of each time bin."""
+        return float(self.bin_edges_ns[1] - self.bin_edges_ns[0])
+
+    @property
+    def peak_power_mw(self) -> float:
+        """Tallest bin: the instantaneous power peak."""
+        return float(self.power_mw.max()) if self.n_bins else 0.0
+
+    @property
+    def peak_time_ns(self) -> float:
+        """Centre time of the peak bin."""
+        if self.n_bins == 0:
+            return 0.0
+        i = int(self.power_mw.argmax())
+        return float(self.bin_edges_ns[i] + self.bin_width_ns / 2.0)
+
+    @property
+    def average_power_mw(self) -> float:
+        """Mean binned power over the window."""
+        return float(self.power_mw.mean()) if self.n_bins else 0.0
+
+    def peak_current_ma(self) -> float:
+        """Peak current drawn from the rail (peak power / VDD)."""
+        return self.peak_power_mw / self.vdd
+
+    def to_csv(self) -> str:
+        """CSV dump (t_ns, power_mw) for plotting."""
+        lines = ["t_ns,power_mw"]
+        for i in range(self.n_bins):
+            mid = self.bin_edges_ns[i] + self.bin_width_ns / 2.0
+            lines.append(f"{mid:.3f},{self.power_mw[i]:.6f}")
+        return "\n".join(lines) + "\n"
+
+
+def power_waveform(
+    netlist: Netlist,
+    parasitics: ParasiticModel,
+    result: TimingResult,
+    n_bins: int = 40,
+    window_ns: Optional[float] = None,
+    vdd: float = VDD_NOMINAL,
+) -> PowerWaveform:
+    """Bin a traced timing result into an instantaneous power waveform.
+
+    Requires the simulation to have been run with ``record_trace=True``.
+    Each event deposits its net's ``C * VDD^2`` into the bin containing
+    its timestamp; the bin's power is energy over bin width.
+    """
+    if result.trace is None:
+        raise SimulationError(
+            "power_waveform needs a traced simulation "
+            "(record_trace=True)"
+        )
+    if n_bins < 1:
+        raise SimulationError("need at least one bin")
+    if window_ns is None:
+        window_ns = max(result.capture_time_ns, result.stw_ns)
+    edges = np.linspace(0.0, window_ns, n_bins + 1)
+    width = edges[1] - edges[0]
+
+    block_of_net: Dict[int, Optional[str]] = {}
+    for g in netlist.gates:
+        block_of_net[g.output] = g.block
+    for f in netlist.flops:
+        block_of_net[f.q] = f.block
+
+    energy = np.zeros(n_bins)
+    by_block: Dict[str, np.ndarray] = {}
+    caps = parasitics.net_cap_ff
+    for t, net, _val in result.trace:
+        b = min(n_bins - 1, int(t / window_ns * n_bins)) if window_ns else 0
+        e = caps[net] * vdd * vdd
+        energy[b] += e
+        block = block_of_net.get(net)
+        if block is not None:
+            if block not in by_block:
+                by_block[block] = np.zeros(n_bins)
+            by_block[block][b] += e
+
+    # fJ / ns = uW; report mW.
+    scale = 1e-3 / width
+    return PowerWaveform(
+        bin_edges_ns=edges,
+        power_mw=energy * scale,
+        power_mw_by_block={k: v * scale for k, v in by_block.items()},
+        vdd=vdd,
+    )
+
+
+def render_waveform_ascii(
+    waveform: PowerWaveform, height: int = 10, title: str = ""
+) -> str:
+    """Small text rendering of a power waveform."""
+    if waveform.n_bins == 0 or waveform.peak_power_mw == 0:
+        return "(no activity)"
+    top = waveform.peak_power_mw
+    lines: List[str] = [title] if title else []
+    for h in reversed(range(height)):
+        lo = top * h / height
+        row = "".join(
+            "#" if p > lo else " " for p in waveform.power_mw
+        )
+        lines.append(f"{top * (h + 1) / height:8.2f} |{row}")
+    lines.append(
+        " " * 9 + "+" + "-" * waveform.n_bins
+    )
+    lines.append(
+        " " * 10 + f"0 .. {waveform.bin_edges_ns[-1]:.1f} ns  "
+        f"(peak {waveform.peak_power_mw:.2f} mW @ "
+        f"{waveform.peak_time_ns:.2f} ns)"
+    )
+    return "\n".join(lines)

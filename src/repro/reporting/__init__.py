@@ -1,0 +1,12 @@
+"""Plain-text reporting helpers for tables and figure series."""
+
+from .tables import format_table
+from .series import series_to_csv, curve_to_csv
+from .artifacts import export_case_study
+
+__all__ = [
+    "curve_to_csv",
+    "export_case_study",
+    "format_table",
+    "series_to_csv",
+]

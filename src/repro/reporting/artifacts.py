@@ -1,0 +1,98 @@
+"""One-call export of every case-study artefact to plain files.
+
+``export_case_study`` writes the data behind each paper table and
+figure as CSV/TXT into a directory, so results can be plotted or
+diffed outside Python.  Used by the ``python -m repro export`` CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from ..pgrid.maps import ir_map_csv, render_ir_map
+from .series import curve_to_csv, series_to_csv
+from .tables import format_table
+
+
+def export_case_study(study, out_dir: str) -> List[str]:
+    """Write all tables/figures of a CaseStudy; returns written paths.
+
+    Heavy steps (flows, validations) run on first access via the study's
+    caches, so calling this on a fresh study executes the whole paper.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+
+    def write(name: str, content: str) -> None:
+        path = os.path.join(out_dir, name)
+        with open(path, "w") as fh:
+            fh.write(content)
+        written.append(path)
+
+    # Tables ------------------------------------------------------------
+    write("table1_design.txt", format_table(
+        [{"metric": k, "value": v} for k, v in study.table1().items()],
+        title="Table 1: design characteristics",
+    ) + "\n")
+    write("table2_domains.txt",
+          format_table(study.table2(), title="Table 2") + "\n")
+
+    t3 = study.table3()
+    for label, rows in t3.items():
+        write(f"table3_{label}.csv", _stat_rows_csv(rows))
+    t4 = study.table4()
+    write("table4_cap_vs_scap.txt", format_table(
+        [{"model": k, **v} for k, v in t4.items()], title="Table 4",
+    ) + "\n")
+
+    # Figures -----------------------------------------------------------
+    write("fig1_floorplan.txt", study.figure1() + "\n")
+
+    f2 = study.figure2()
+    write("fig2_scap_conventional_b5.csv",
+          series_to_csv(f2["scap_mw_b5"], header="pattern,scap_mw"))
+    f6 = study.figure6()
+    write("fig6_scap_staged_b5.csv",
+          series_to_csv(f6["scap_mw_b5"], header="pattern,scap_mw"))
+    write("fig6_meta.txt",
+          f"threshold_mw={f6['threshold_mw']}\n"
+          f"step_boundaries={f6['step_boundaries']}\n")
+
+    f3 = study.figure3()
+    for label, data in f3.items():
+        write(f"fig3_{label}_vdd_map.csv",
+              ir_map_csv(study.model.vdd_grid, data["ir"].drop_vdd))
+        write(f"fig3_{label}_vdd_map.txt",
+              render_ir_map(study.model.vdd_grid, data["ir"].drop_vdd)
+              + "\n")
+
+    f4 = study.figure4()
+    for name, curve in f4.items():
+        write(f"fig4_coverage_{name}.csv", curve_to_csv(curve))
+
+    comp = study.figure7()
+    lines = ["flop,nominal_ns,ir_scaled_ns"]
+    for fi, nominal in sorted(comp.nominal_ns.items()):
+        lines.append(
+            f"{fi},{nominal:.6g},{comp.scaled_ns.get(fi, 0.0):.6g}"
+        )
+    write("fig7_endpoint_delays.csv", "\n".join(lines) + "\n")
+
+    # Headline ------------------------------------------------------------
+    hc = study.headline_comparison()
+    write("headline.txt", format_table(
+        [{"metric": k, "value": v} for k, v in hc.items()],
+        title="Headline comparison",
+    ) + "\n")
+    return written
+
+
+def _stat_rows_csv(rows) -> str:
+    lines = ["block,window_ns,avg_power_mw,worst_vdd_v,worst_vss_v"]
+    for r in rows:
+        lines.append(
+            f"{r.block},{r.window_ns},{r.avg_power_mw:.6g},"
+            f"{r.worst_drop_vdd_v:.6g},{r.worst_drop_vss_v:.6g}"
+        )
+    return "\n".join(lines) + "\n"

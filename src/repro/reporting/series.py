@@ -1,0 +1,30 @@
+"""CSV export of figure series (for plotting outside the library)."""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence, Tuple
+
+
+def series_to_csv(
+    values: Iterable[float],
+    header: str = "index,value",
+) -> str:
+    """One-series CSV: (index, value) per line."""
+    buf = io.StringIO()
+    buf.write(header + "\n")
+    for i, v in enumerate(values):
+        buf.write(f"{i},{v:.6g}\n")
+    return buf.getvalue()
+
+
+def curve_to_csv(
+    curve: Sequence[Tuple[int, float]],
+    header: str = "pattern,coverage",
+) -> str:
+    """(x, y) tuple-series CSV (coverage curves)."""
+    buf = io.StringIO()
+    buf.write(header + "\n")
+    for x, y in curve:
+        buf.write(f"{x},{y:.6g}\n")
+    return buf.getvalue()

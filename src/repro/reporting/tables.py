@@ -1,0 +1,42 @@
+"""ASCII table rendering for benchmark/report output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    Column order follows *columns* when given, else the first row's key
+    order.  Floats use *float_fmt*; everything else is ``str()``.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    table = [[fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [
+        max(len(cols[i]), max(len(r[i]) for r in table))
+        for i in range(len(cols))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append(sep)
+    for r in table:
+        lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(cols))))
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Per-instance loaded delays — the SDF back-annotation substitute.
+
+Each gate's pin-to-output delay is its library cell's loaded delay at
+the extracted capacitance of its output net, plus a per-fanout wire
+delay adder standing in for RC interconnect.  Flop clock-to-Q delays are
+computed the same way.  The model supports voltage-aware scaling via the
+paper's formula ``ScaledCellDelay = Delay * (1 + k_volt * dV)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import ElectricalEnv
+from ..errors import SimulationError
+from ..netlist.netlist import Netlist
+from ..netlist.parasitics import (
+    ParasiticModel,
+    WIRE_DELAY_PER_FANOUT_NS,
+    extract_net_caps,
+)
+
+
+class DelayModel:
+    """Loaded delay per gate and per flop for one netlist.
+
+    Attributes
+    ----------
+    gate_delay_ns:
+        ``gate_delay_ns[gi]`` — input-pin-to-output delay of gate *gi*.
+    flop_ck2q_ns:
+        ``flop_ck2q_ns[fi]`` — clock-to-Q delay of flop *fi*.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        parasitics: Optional[ParasiticModel] = None,
+        wire_delay_per_fanout_ns: float = WIRE_DELAY_PER_FANOUT_NS,
+    ):
+        self.netlist = netlist
+        self.parasitics = (
+            parasitics if parasitics is not None else extract_net_caps(netlist)
+        )
+        self.wire_delay_per_fanout_ns = wire_delay_per_fanout_ns
+        lib = netlist.library
+        netlist.freeze()
+
+        self.gate_delay_ns = np.zeros(netlist.n_gates, dtype=float)
+        for gi, gate in enumerate(netlist.gates):
+            spec = lib.cell(gate.cell)
+            load = self.parasitics.cap_of(gate.output)
+            fanout = len(netlist.gate_fanouts_of(gate.output)) + len(
+                netlist.flop_d_loads_of(gate.output)
+            )
+            self.gate_delay_ns[gi] = (
+                spec.loaded_delay_ns(load)
+                + wire_delay_per_fanout_ns * fanout
+            )
+
+        self.flop_ck2q_ns = np.zeros(netlist.n_flops, dtype=float)
+        for fi, flop in enumerate(netlist.flops):
+            spec = lib.cell(flop.cell)
+            load = self.parasitics.cap_of(flop.q)
+            self.flop_ck2q_ns[fi] = spec.loaded_delay_ns(load)
+
+    def scaled(
+        self,
+        gate_drop_v: np.ndarray,
+        flop_drop_v: np.ndarray,
+        env: Optional[ElectricalEnv] = None,
+    ) -> "DelayModel":
+        """A copy with every delay degraded by local IR-drop.
+
+        Parameters
+        ----------
+        gate_drop_v / flop_drop_v:
+            Per-gate / per-flop supply droop in volts (VDD drop plus VSS
+            bounce as seen by the cell).  Negative entries are clamped.
+        env:
+            Electrical environment supplying ``k_volt``.
+        """
+        if env is None:
+            env = ElectricalEnv()
+        if len(gate_drop_v) != self.netlist.n_gates:
+            raise SimulationError(
+                f"gate_drop_v has {len(gate_drop_v)} entries for "
+                f"{self.netlist.n_gates} gates"
+            )
+        if len(flop_drop_v) != self.netlist.n_flops:
+            raise SimulationError(
+                f"flop_drop_v has {len(flop_drop_v)} entries for "
+                f"{self.netlist.n_flops} flops"
+            )
+        clone = object.__new__(DelayModel)
+        clone.netlist = self.netlist
+        clone.parasitics = self.parasitics
+        clone.wire_delay_per_fanout_ns = self.wire_delay_per_fanout_ns
+        gd = np.clip(np.asarray(gate_drop_v, dtype=float), 0.0, None)
+        fd = np.clip(np.asarray(flop_drop_v, dtype=float), 0.0, None)
+        clone.gate_delay_ns = self.gate_delay_ns * (1.0 + env.k_volt * gd)
+        clone.flop_ck2q_ns = self.flop_ck2q_ns * (1.0 + env.k_volt * fd)
+        return clone
+
+    def static_arrivals_ns(self) -> np.ndarray:
+        """Per-net static worst arrival (levelised, loaded delays).
+
+        Flop Q nets start at clock-to-Q; every gate output is the max
+        input arrival plus its loaded delay.  Used by the critical-path
+        estimate and by timing-aware ATPG's long-path preference.
+        """
+        from ..netlist.levelize import levelize
+
+        order, _ = levelize(self.netlist)
+        arrival = np.zeros(self.netlist.n_nets, dtype=float)
+        for fi, flop in enumerate(self.netlist.flops):
+            arrival[flop.q] = self.flop_ck2q_ns[fi]
+        for gi in order:
+            gate = self.netlist.gates[gi]
+            worst_in = max(arrival[p] for p in gate.inputs) if gate.inputs else 0.0
+            arrival[gate.output] = worst_in + self.gate_delay_ns[gi]
+        return arrival
+
+    def critical_path_estimate_ns(self) -> float:
+        """Static longest-path estimate through the combinational core.
+
+        Uses levelised arrival propagation with every gate at its loaded
+        delay; clock insertion and setup are not included.
+        """
+        arrival = self.static_arrivals_ns()
+        return float(arrival.max()) if len(arrival) else 0.0

@@ -1,0 +1,66 @@
+"""Endpoint (scan-flop) path-delay measurement.
+
+Paper Figure 7 semantics: "we measure the path delay observed at each
+endpoint based on the reference clock signal reaching the respective
+endpoint".  The delay of endpoint *f* is the last data arrival at its D
+pin minus the clock arrival at *f* itself, so if IR-drop slows the
+capture flop's clock path relative to the launch flop's, the *measured*
+path delay decreases — the paper's "Region 2" effect.
+
+Non-active endpoints (no transition reached their D pin) report 0.0,
+matching the paper's plotting convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Optional
+
+from ..soc.clocks import ClockBuffer, ClockTree
+from ..netlist.netlist import Netlist
+from .event import TimingResult
+
+DelayScaleFn = Callable[[ClockBuffer, float], float]
+
+
+def endpoint_delays(
+    netlist: Netlist,
+    tree: ClockTree,
+    result: TimingResult,
+    flops: Optional[Iterable[int]] = None,
+    clock_delay_scale: Optional[DelayScaleFn] = None,
+) -> Dict[int, float]:
+    """Per-endpoint path delay for one simulated pattern.
+
+    Parameters
+    ----------
+    netlist:
+        The design.
+    tree:
+        Clock tree of the captured domain (provides per-flop clock
+        arrival, optionally scaled by IR-drop).
+    result:
+        Timing simulation result holding per-net last arrivals.
+    flops:
+        Endpoints to measure; defaults to every flop in the tree.
+    clock_delay_scale:
+        Optional per-buffer delay scaling (IR-drop-aware capture clock).
+    """
+    targets = list(flops) if flops is not None else sorted(tree.leaf_of_flop)
+    out: Dict[int, float] = {}
+    for fi in targets:
+        d_net = netlist.flops[fi].d
+        arrival = float(result.last_arrival_ns[d_net])
+        if math.isnan(arrival):
+            out[fi] = 0.0
+            continue
+        clock_arrival = tree.insertion_delay_ns(
+            fi, delay_scale=clock_delay_scale
+        )
+        out[fi] = arrival - clock_arrival
+    return out
+
+
+def active_endpoints(delays: Dict[int, float]) -> Dict[int, float]:
+    """Filter out non-active endpoints (zero delay)."""
+    return {fi: d for fi, d in delays.items() if d != 0.0}

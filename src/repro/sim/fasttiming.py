@@ -1,0 +1,146 @@
+"""Levelised single-transition timing approximation.
+
+A much faster alternative to the event-driven engine for bulk pattern
+screening: it assumes every net switches at most once per cycle (no
+hazards), which holds exactly on fanout-reconvergence-free logic and is
+a mild underestimate elsewhere.  Arrival times propagate level by level:
+a toggling gate output fires at ``max(arrival of its toggling inputs) +
+gate delay``.
+
+The engine intentionally produces the same :class:`TimingResult` shape
+as :class:`repro.sim.event.EventTimingSim`, so power/IR layers accept
+either; benchmarks compare the two (speed ablation) and property tests
+check they agree on hazard-free circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import VDD_NOMINAL
+from ..errors import SimulationError
+from ..netlist.levelize import levelize
+from ..netlist.netlist import Netlist
+from ..netlist.parasitics import ParasiticModel
+from .delays import DelayModel
+from .event import TimingResult
+
+
+class FastTimingSim:
+    """Reusable levelised timing engine bound to one netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        delays: DelayModel,
+        parasitics: Optional[ParasiticModel] = None,
+        vdd: float = VDD_NOMINAL,
+    ):
+        self.netlist = netlist
+        self.delays = delays
+        self.parasitics = (
+            parasitics if parasitics is not None else delays.parasitics
+        )
+        self.vdd = vdd
+        netlist.freeze()
+        self._order, _ = levelize(netlist)
+        self._block_of_net: List[Optional[str]] = [None] * netlist.n_nets
+        for g in netlist.gates:
+            self._block_of_net[g.output] = g.block
+        for f in netlist.flops:
+            self._block_of_net[f.q] = f.block
+        self._energy_of_net = self.parasitics.net_cap_ff * vdd * vdd
+
+    def simulate(
+        self,
+        frame1_values: Sequence[int],
+        frame2_values: Sequence[int],
+        launch_state: Dict[int, int],
+        launch_time_of_flop: Dict[int, float],
+        capture_time_ns: float,
+    ) -> TimingResult:
+        """Approximate the launch-to-capture cycle from two settled frames.
+
+        Parameters
+        ----------
+        frame1_values / frame2_values:
+            Zero-delay settled net values before and after the launch
+            edge (single pattern, 0/1 per net).
+        launch_state:
+            Per-flop state after the launch edge (identifies which flops
+            actually launch).
+        launch_time_of_flop:
+            Clock arrival (insertion delay) per launching flop.
+        capture_time_ns:
+            Capture-edge time, copied into the result for downstream use.
+        """
+        netlist = self.netlist
+        n_nets = netlist.n_nets
+        if len(frame1_values) != n_nets or len(frame2_values) != n_nets:
+            raise SimulationError("frame value arrays must cover all nets")
+
+        arrival = np.full(n_nets, np.nan)
+        toggles = np.zeros(n_nets, dtype=np.int32)
+        energy_total = 0.0
+        energy_by_block: Dict[str, float] = {}
+
+        # Flop launch transitions seed the arrival front.
+        ck2q = self.delays.flop_ck2q_ns
+        for fi, new_q in launch_state.items():
+            q_net = netlist.flops[fi].q
+            if (frame1_values[q_net] ^ new_q) & 1:
+                arrival[q_net] = launch_time_of_flop[fi] + float(ck2q[fi])
+
+        f1 = frame1_values
+        f2 = frame2_values
+        energy_of_net = self._energy_of_net
+        block_of_net = self._block_of_net
+        gate_delay = self.delays.gate_delay_ns
+
+        def book(net: int) -> None:
+            nonlocal energy_total
+            toggles[net] = 1
+            energy = energy_of_net[net]
+            energy_total += energy
+            block = block_of_net[net]
+            if block is not None:
+                energy_by_block[block] = (
+                    energy_by_block.get(block, 0.0) + energy
+                )
+
+        for net in np.nonzero(~np.isnan(arrival))[0]:
+            book(int(net))
+
+        for gi in self._order:
+            gate = netlist.gates[gi]
+            out = gate.output
+            if (f1[out] ^ f2[out]) & 1 == 0:
+                continue
+            in_arr = [
+                arrival[p]
+                for p in gate.inputs
+                if (f1[p] ^ f2[p]) & 1 and not np.isnan(arrival[p])
+            ]
+            if not in_arr:
+                # Inputs settle identically yet output differs: can only
+                # happen if a source net changed without a recorded
+                # launch (e.g. non-pulsed-domain interaction); skip.
+                continue
+            arrival[out] = max(in_arr) + gate_delay[gi]
+            book(out)
+
+        finite = arrival[~np.isnan(arrival)]
+        stw = float(finite.max()) if finite.size else 0.0
+        return TimingResult(
+            stw_ns=stw,
+            capture_time_ns=capture_time_ns,
+            n_transitions=int(toggles.sum()),
+            toggles=toggles,
+            last_arrival_ns=arrival,
+            energy_fj_total=energy_total,
+            energy_fj_by_block=energy_by_block,
+            truncated=False,
+            trace=None,
+        )

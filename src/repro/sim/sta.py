@@ -1,0 +1,350 @@
+"""Static timing analysis with optional IR-drop derating.
+
+The paper contrasts its per-pattern dynamic analysis with the signoff
+practice of "simulating patterns at the best and worst-case corners",
+which is "either over optimistic or pessimistic" because one corner is
+applied to the whole die.  This module provides that corner-style STA —
+levelised arrival/required/slack over the launch-to-capture cycle —
+plus *per-instance* derating from a dynamic IR-drop result, so the
+corner analysis and the paper's spatially-aware scaling can be compared
+head to head.
+
+Arrival times start at each launching flop's clock arrival plus
+clock-to-Q; an endpoint's required time is the capture edge at its own
+clock arrival minus setup.  Negative slack means the path misses the
+cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import ElectricalEnv
+from ..errors import SimulationError
+from ..netlist.levelize import levelize
+from ..netlist.netlist import Netlist
+from ..soc.clocks import ClockBuffer, ClockTree
+from .delays import DelayModel
+
+#: Setup time assumed for every flop (ns) — a single number suffices for
+#: the synthetic library.
+SETUP_NS = 0.12
+
+
+@dataclass(frozen=True)
+class TimingPathPoint:
+    """One hop of a reported timing path."""
+
+    net: int
+    net_name: str
+    arrival_ns: float
+    through: str  # instance name of the driver
+
+
+@dataclass
+class EndpointTiming:
+    """Arrival / required / slack at one capture flop."""
+
+    flop: int
+    flop_name: str
+    arrival_ns: float
+    required_ns: float
+
+    @property
+    def slack_ns(self) -> float:
+        return self.required_ns - self.arrival_ns
+
+
+@dataclass
+class StaReport:
+    """Full-design STA result for one clock domain."""
+
+    domain: str
+    period_ns: float
+    endpoints: List[EndpointTiming]
+
+    @property
+    def worst_slack_ns(self) -> float:
+        if not self.endpoints:
+            return float("inf")
+        return min(e.slack_ns for e in self.endpoints)
+
+    def worst_endpoints(self, k: int = 5) -> List[EndpointTiming]:
+        return sorted(self.endpoints, key=lambda e: e.slack_ns)[:k]
+
+    def failing_endpoints(self) -> List[EndpointTiming]:
+        return [e for e in self.endpoints if e.slack_ns < 0]
+
+
+class StaticTimingAnalyzer:
+    """Levelised worst-case arrival analysis for one clock domain."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        delays: DelayModel,
+        tree: ClockTree,
+        period_ns: float,
+        domain: str,
+        setup_ns: float = SETUP_NS,
+    ):
+        if period_ns <= 0:
+            raise SimulationError("period must be positive")
+        self.netlist = netlist
+        self.delays = delays
+        self.tree = tree
+        self.period_ns = period_ns
+        self.domain = domain
+        self.setup_ns = setup_ns
+        netlist.freeze()
+        self._order, _ = levelize(netlist)
+        self._launch_flops = [
+            fi
+            for fi, f in enumerate(netlist.flops)
+            if f.clock_domain == domain and f.edge == "pos"
+        ]
+        if not self._launch_flops:
+            raise SimulationError(f"no flops in domain {domain!r}")
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        gate_derate: Optional[np.ndarray] = None,
+        flop_derate: Optional[np.ndarray] = None,
+        clock_delay_scale: Optional[
+            Callable[[ClockBuffer, float], float]
+        ] = None,
+    ) -> StaReport:
+        """Run STA; derates multiply the corresponding nominal delays.
+
+        ``gate_derate[gi]`` / ``flop_derate[fi]`` default to 1.0
+        everywhere; ``clock_delay_scale`` rescales clock-tree buffer
+        delays (late capture clocks relax required times, late launch
+        clocks push arrivals — both are modelled, as in the paper's
+        Region-2 discussion).
+        """
+        netlist = self.netlist
+        n_gates = netlist.n_gates
+        if gate_derate is None:
+            gate_derate = np.ones(n_gates)
+        if flop_derate is None:
+            flop_derate = np.ones(netlist.n_flops)
+        if len(gate_derate) != n_gates:
+            raise SimulationError("gate_derate length mismatch")
+        if len(flop_derate) != netlist.n_flops:
+            raise SimulationError("flop_derate length mismatch")
+
+        neg_inf = float("-inf")
+        arrival = np.full(netlist.n_nets, neg_inf)
+        predecessor: Dict[int, Tuple[int, str]] = {}
+
+        insertion: Dict[int, float] = {}
+        for fi in self._launch_flops:
+            insertion[fi] = self.tree.insertion_delay_ns(
+                fi, delay_scale=clock_delay_scale
+            )
+            q = netlist.flops[fi].q
+            t = (
+                insertion[fi]
+                + self.delays.flop_ck2q_ns[fi] * flop_derate[fi]
+            )
+            if t > arrival[q]:
+                arrival[q] = t
+
+        gate_delay = self.delays.gate_delay_ns
+        for gi in self._order:
+            gate = netlist.gates[gi]
+            worst_in = neg_inf
+            worst_net = -1
+            for p in gate.inputs:
+                if arrival[p] > worst_in:
+                    worst_in = arrival[p]
+                    worst_net = p
+            if worst_in == neg_inf:
+                continue  # cone not reached from this domain
+            t = worst_in + gate_delay[gi] * gate_derate[gi]
+            out = gate.output
+            if t > arrival[out]:
+                arrival[out] = t
+                predecessor[out] = (worst_net, gate.name)
+
+        endpoints: List[EndpointTiming] = []
+        for fi in self._launch_flops:
+            d_net = netlist.flops[fi].d
+            arr = arrival[d_net]
+            if arr == neg_inf:
+                continue
+            required = self.period_ns + insertion[fi] - self.setup_ns
+            endpoints.append(
+                EndpointTiming(
+                    flop=fi,
+                    flop_name=netlist.flops[fi].name,
+                    arrival_ns=float(arr),
+                    required_ns=float(required),
+                )
+            )
+
+        self._arrival = arrival
+        self._predecessor = predecessor
+        return StaReport(self.domain, self.period_ns, endpoints)
+
+    # ------------------------------------------------------------------
+    def trace_path(self, endpoint: EndpointTiming) -> List[TimingPathPoint]:
+        """Walk the worst path into an endpoint (run :meth:`analyze`
+        first).  Returned root-first."""
+        netlist = self.netlist
+        points: List[TimingPathPoint] = []
+        net = netlist.flops[endpoint.flop].d
+        guard = netlist.n_nets + 1
+        while guard:
+            guard -= 1
+            drv = netlist.driver_of(net)
+            through = "<source>"
+            if drv is not None and drv[0] == "gate":
+                through = netlist.gates[drv[1]].name
+            elif drv is not None and drv[0] == "flop":
+                through = netlist.flops[drv[1]].name
+            points.append(
+                TimingPathPoint(
+                    net=net,
+                    net_name=netlist.net_names[net],
+                    arrival_ns=float(self._arrival[net]),
+                    through=through,
+                )
+            )
+            nxt = self._predecessor.get(net)
+            if nxt is None:
+                break
+            net = nxt[0]
+        points.reverse()
+        return points
+
+
+@dataclass
+class StatisticalEndpoint:
+    """SSTA-lite result at one endpoint: Gaussian arrival model."""
+
+    flop: int
+    flop_name: str
+    mean_arrival_ns: float
+    std_arrival_ns: float
+    required_ns: float
+
+    @property
+    def mean_slack_ns(self) -> float:
+        return self.required_ns - self.mean_arrival_ns
+
+    def timing_yield(self) -> float:
+        """P(arrival <= required) under the Gaussian model."""
+        if self.std_arrival_ns <= 0:
+            return 1.0 if self.mean_slack_ns >= 0 else 0.0
+        from math import erf, sqrt
+
+        z = self.mean_slack_ns / self.std_arrival_ns
+        return 0.5 * (1.0 + erf(z / sqrt(2.0)))
+
+
+@dataclass
+class SstaReport:
+    """Statistical STA over one domain."""
+
+    domain: str
+    period_ns: float
+    sigma_fraction: float
+    endpoints: List[StatisticalEndpoint]
+
+    def worst_yield_endpoint(self) -> Optional[StatisticalEndpoint]:
+        if not self.endpoints:
+            return None
+        return min(self.endpoints, key=lambda e: e.timing_yield())
+
+    def chip_timing_yield(self) -> float:
+        """Independent-endpoint approximation of whole-chip yield."""
+        out = 1.0
+        for e in self.endpoints:
+            out *= e.timing_yield()
+        return out
+
+
+def analyze_statistical(
+    sta: "StaticTimingAnalyzer",
+    sigma_fraction: float = 0.05,
+) -> SstaReport:
+    """SSTA-lite: per-gate independent Gaussian delay variation.
+
+    Every gate delay is ``N(d, (sigma_fraction * d)^2)``; along each
+    endpoint's *worst* structural path, means add and variances add
+    (the max-of-Gaussians correction is ignored — a first-order model
+    that is exact on path-dominated designs and mildly optimistic
+    elsewhere).  Clock arrivals are treated as deterministic.
+    """
+    if sigma_fraction < 0:
+        raise SimulationError("sigma_fraction must be >= 0")
+    netlist = sta.netlist
+    neg_inf = float("-inf")
+    mean = np.full(netlist.n_nets, neg_inf)
+    var = np.zeros(netlist.n_nets)
+
+    insertion: Dict[int, float] = {}
+    for fi in sta._launch_flops:
+        insertion[fi] = sta.tree.insertion_delay_ns(fi)
+        q = netlist.flops[fi].q
+        d = sta.delays.flop_ck2q_ns[fi]
+        t = insertion[fi] + d
+        if t > mean[q]:
+            mean[q] = t
+            var[q] = (sigma_fraction * d) ** 2
+
+    gate_delay = sta.delays.gate_delay_ns
+    for gi in sta._order:
+        gate = netlist.gates[gi]
+        worst_in = neg_inf
+        worst_net = -1
+        for p in gate.inputs:
+            if mean[p] > worst_in:
+                worst_in = mean[p]
+                worst_net = p
+        if worst_in == neg_inf:
+            continue
+        d = float(gate_delay[gi])
+        out = gate.output
+        t = worst_in + d
+        if t > mean[out]:
+            mean[out] = t
+            var[out] = var[worst_net] + (sigma_fraction * d) ** 2
+
+    endpoints: List[StatisticalEndpoint] = []
+    for fi in sta._launch_flops:
+        d_net = netlist.flops[fi].d
+        if mean[d_net] == neg_inf:
+            continue
+        required = sta.period_ns + insertion[fi] - sta.setup_ns
+        endpoints.append(
+            StatisticalEndpoint(
+                flop=fi,
+                flop_name=netlist.flops[fi].name,
+                mean_arrival_ns=float(mean[d_net]),
+                std_arrival_ns=float(np.sqrt(var[d_net])),
+                required_ns=float(required),
+            )
+        )
+    return SstaReport(sta.domain, sta.period_ns, sigma_fraction,
+                      endpoints)
+
+
+def derates_from_ir(
+    ir, env: Optional[ElectricalEnv] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-instance derate factors from a dynamic IR-drop result.
+
+    ``factor = 1 + k_volt * droop`` — the paper's formula expressed as a
+    multiplicative derate for STA.
+    """
+    if env is None:
+        env = ElectricalEnv()
+    gate = 1.0 + env.k_volt * np.clip(ir.gate_droop_v, 0.0, None)
+    flop = 1.0 + env.k_volt * np.clip(ir.flop_droop_v, 0.0, None)
+    return gate, flop

@@ -1,0 +1,116 @@
+"""Switching-event traces and VCD export.
+
+The paper's first SCAP attempt captured switching activity into VCD
+files before the PLI made that unnecessary ("this technique is
+sufficient only to analyze a very small number of patterns due to the
+extremely large size of VCD files").  We keep the VCD path available:
+:class:`SwitchingTrace` wraps a recorded event trace with windowed
+statistics, and :func:`write_vcd` emits a standard value-change-dump
+for waveform viewers — useful for debugging a handful of patterns,
+exactly as the paper used it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+from ..errors import SimulationError
+from ..netlist.netlist import Netlist
+from .event import TimingResult
+
+
+class SwitchingTrace:
+    """A (time, net, value) event trace with query helpers."""
+
+    def __init__(self, netlist: Netlist, result: TimingResult):
+        if result.trace is None:
+            raise SimulationError(
+                "timing result has no trace; simulate with "
+                "record_trace=True"
+            )
+        self.netlist = netlist
+        self.events: List[Tuple[float, int, int]] = list(result.trace)
+        self.capture_time_ns = result.capture_time_ns
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def transitions_in_window(self, t0_ns: float, t1_ns: float) -> int:
+        """Number of events with t0 <= t < t1."""
+        return sum(1 for t, _n, _v in self.events if t0_ns <= t < t1_ns)
+
+    def toggles_by_block(self) -> Dict[str, int]:
+        """Event counts attributed to the driver instance's block."""
+        block_of_net: Dict[int, Optional[str]] = {}
+        for g in self.netlist.gates:
+            block_of_net[g.output] = g.block
+        for f in self.netlist.flops:
+            block_of_net[f.q] = f.block
+        counts: Dict[str, int] = {}
+        for _t, net, _v in self.events:
+            block = block_of_net.get(net)
+            if block is not None:
+                counts[block] = counts.get(block, 0) + 1
+        return counts
+
+    def busiest_nets(self, k: int = 10) -> List[Tuple[str, int]]:
+        """The k most-toggling nets (name, toggle count)."""
+        counts: Dict[int, int] = {}
+        for _t, net, _v in self.events:
+            counts[net] = counts.get(net, 0) + 1
+        ranked = sorted(counts.items(), key=lambda kv: -kv[1])[:k]
+        return [(self.netlist.net_names[n], c) for n, c in ranked]
+
+
+def _vcd_id(index: int) -> str:
+    """Short printable VCD identifier for a net index."""
+    chars = "".join(chr(c) for c in range(33, 127))
+    out = ""
+    index += 1
+    while index:
+        index, rem = divmod(index, len(chars))
+        out += chars[rem - 1] if rem else chars[-1]
+    return out
+
+
+def write_vcd(
+    trace: SwitchingTrace,
+    stream: TextIO,
+    initial_values: Optional[Sequence[int]] = None,
+    timescale_ps: int = 10,
+) -> None:
+    """Write a trace as a standard VCD file.
+
+    Only nets that appear in the trace are declared (full-design dumps
+    are exactly the file-size problem the paper's PLI avoided).
+    """
+    netlist = trace.netlist
+    nets = sorted({net for _t, net, _v in trace.events})
+    ids = {net: _vcd_id(i) for i, net in enumerate(nets)}
+
+    stream.write("$date repro switching trace $end\n")
+    stream.write(f"$timescale {timescale_ps} ps $end\n")
+    stream.write(f"$scope module {netlist.name} $end\n")
+    for net in nets:
+        name = netlist.net_names[net].replace(" ", "_")
+        stream.write(f"$var wire 1 {ids[net]} {name} $end\n")
+    stream.write("$upscope $end\n$enddefinitions $end\n")
+
+    stream.write("$dumpvars\n")
+    for net in nets:
+        init = 0
+        if initial_values is not None:
+            init = initial_values[net] & 1
+        stream.write(f"{init}{ids[net]}\n")
+    stream.write("$end\n")
+
+    ticks_per_ns = 1000.0 / timescale_ps
+    last_tick = None
+    for t, net, val in sorted(trace.events):
+        tick = int(round(t * ticks_per_ns))
+        if tick != last_tick:
+            stream.write(f"#{tick}\n")
+            last_tick = tick
+        stream.write(f"{val & 1}{ids[net]}\n")
+    end_tick = int(round(trace.capture_time_ns * ticks_per_ns))
+    stream.write(f"#{end_tick}\n")

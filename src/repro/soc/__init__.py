@@ -1,0 +1,27 @@
+"""Synthetic Turbo-Eagle SOC: floorplan, blocks, clocks, generator.
+
+This subpackage replaces the paper's proprietary industrial SOC with a
+parameterised generator that reproduces its *structural* properties:
+six blocks B1–B6 on a shared bus, six clock domains with clka dominant,
+a central power-dense B5, placement for every instance, and synthesised
+clock trees with realistic skew.
+"""
+
+from .floorplan import BlockRegion, Floorplan, make_turbo_eagle_floorplan
+from .clocks import ClockBuffer, ClockDomainSpec, ClockTree, build_clock_tree
+from .design import SocDesign
+from .generator import SocScale, build_turbo_eagle, scale_preset
+
+__all__ = [
+    "BlockRegion",
+    "ClockBuffer",
+    "ClockDomainSpec",
+    "ClockTree",
+    "Floorplan",
+    "SocDesign",
+    "SocScale",
+    "build_clock_tree",
+    "build_turbo_eagle",
+    "make_turbo_eagle_floorplan",
+    "scale_preset",
+]

@@ -1,0 +1,400 @@
+"""Random-logic block generator.
+
+Each SOC block is a level-structured combinational cloud wrapped in scan
+flops: level-0 signals are flop outputs and bus taps, each subsequent
+level draws its inputs mostly from the immediately preceding levels (so
+logic depth — and with it the switching time frame window — is
+controllable), and flop D pins consume the deepest signals.  Unconsumed
+gate outputs are folded into XOR observation trees feeding extra flops,
+so nearly all logic is observable by the ATPG.
+
+Instance placement is incremental: a gate sits near the centroid of its
+input drivers with jitter, clamped to the block region, which gives nets
+realistic wirelengths for the parasitic extractor and puts each block's
+power where its region is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..netlist.library import DEFAULT_CELL_FOR_KIND
+from ..netlist.netlist import Netlist
+from .floorplan import BlockRegion
+
+#: (kind, weight) mix of a standard-cell mapped netlist.  The mix is
+#: deliberately biased toward zero-preserving kinds (AND/OR/XOR/MUX give
+#: 0 on all-zero inputs) so that the all-zeros scan state is a
+#: near-quiescent state of each block — the property of real datapath
+#: logic (reset state) that makes the paper's fill-0 strategy keep
+#: untargeted blocks quiet during launch-off-capture.
+_KIND_WEIGHTS = [
+    ("AND2", 0.16),
+    ("XOR2", 0.15),
+    ("OR2", 0.11),
+    ("NAND2", 0.10),
+    ("MUX2", 0.10),
+    ("AND3", 0.08),
+    ("OR3", 0.06),
+    ("NOR2", 0.06),
+    ("INV", 0.06),
+    ("AOI21", 0.05),
+    ("OAI21", 0.05),
+    ("XNOR2", 0.02),
+]
+
+_KIND_ARITY = {
+    "INV": 1, "NAND2": 2, "NOR2": 2, "AND2": 2, "OR2": 2, "AND3": 3,
+    "OR3": 3, "NAND3": 3, "NOR3": 3, "AOI21": 3, "OAI21": 3, "XOR2": 2,
+    "XNOR2": 2, "MUX2": 3,
+}
+
+
+@dataclass
+class BlockPlan:
+    """Size and composition targets for one generated block.
+
+    Parameters
+    ----------
+    name:
+        Block name (e.g. ``"B5"``).
+    n_flops:
+        Number of scan flops (before observation-tree extras).
+    gates_per_flop:
+        Combinational cloud size relative to the register count; the
+        power-dense B5 uses a higher value than the peripheral blocks.
+    depth:
+        Number of cloud levels; the dominant term in path delay and thus
+        in the switching time frame window.
+    domain_shares:
+        Clock-domain mix, e.g. ``{"clka": 0.8, "clkb": 0.2}``; shares
+        must sum to 1.
+    """
+
+    name: str
+    n_flops: int
+    gates_per_flop: float
+    depth: int
+    domain_shares: Dict[str, float]
+
+    def __post_init__(self) -> None:
+        if self.n_flops < 2:
+            raise ConfigError(f"block {self.name!r} needs >= 2 flops")
+        if self.depth < 2:
+            raise ConfigError(f"block {self.name!r} needs depth >= 2")
+        total = sum(self.domain_shares.values())
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(
+                f"block {self.name!r} domain shares sum to {total}, not 1"
+            )
+
+
+@dataclass
+class BlockResult:
+    """What a generated block exposes to the rest of the SOC."""
+
+    name: str
+    flop_indices: List[int]
+    output_nets: List[int]
+    n_gates: int
+
+
+def _sample_kind(rng: np.random.Generator) -> str:
+    kinds = [k for k, _w in _KIND_WEIGHTS]
+    weights = np.array([w for _k, w in _KIND_WEIGHTS])
+    return str(rng.choice(kinds, p=weights / weights.sum()))
+
+
+def _clamp(v: float, lo: float, hi: float) -> float:
+    return min(max(v, lo), hi)
+
+
+def generate_block(
+    netlist: Netlist,
+    region: BlockRegion,
+    plan: BlockPlan,
+    rng: np.random.Generator,
+    bus_inputs: Sequence[int] = (),
+    n_outputs: int = 4,
+) -> BlockResult:
+    """Generate one block into *netlist*; returns its interface.
+
+    ``bus_inputs`` are external nets (bus bits, PIs) the cloud may read.
+    ``n_outputs`` deep signals are returned for the bus fabric to consume.
+    """
+    prefix = plan.name.lower()
+    net_pos: Dict[int, Tuple[float, float]] = {}
+
+    # --- flop output nets (level 0 sources) ---------------------------
+    q_nets: List[int] = []
+    for i in range(plan.n_flops):
+        q = netlist.add_net(f"{prefix}_q{i}")
+        q_nets.append(q)
+        net_pos[q] = region.random_point(rng)
+
+    # --- enable (config) registers ------------------------------------
+    # Real SOC blocks are full of load-enable registers steered by
+    # quasi-static configuration bits; the all-zeros state is therefore
+    # a *fixed point* of the launch cycle: with every enable at 0 no
+    # register updates and the block stays quiet.  This is the property
+    # the paper's fill-0 strategy exploits to silence untargeted blocks.
+    # Enable flops are self-holding scan cells (D tied to Q), one per
+    # ~16 data flops to keep enable fanout realistic.
+    gate_count = 0
+    flop_indices: List[int] = []
+    n_enables = max(1, plan.n_flops // 8)
+    enable_q: List[int] = []
+    for k in range(n_enables):
+        q = netlist.add_net(f"{prefix}_enq{k}")
+        pos = region.random_point(rng)
+        fi = netlist.add_flop(
+            f"{prefix}_enf{k}",
+            "SDFFX1",
+            d=q,  # hold loop: a configuration register
+            q=q,
+            clock_domain=max(
+                plan.domain_shares, key=plan.domain_shares.get
+            ),
+            edge="pos",
+            is_scan=True,
+            block=plan.name,
+            pos=pos,
+        )
+        net_pos[q] = pos
+        enable_q.append(q)
+        flop_indices.append(fi)
+
+    # --- enable-gated bus interface -----------------------------------
+    # External (bus/PI) taps enter the cloud through AND gates steered
+    # by an enable, the usual chip-select structure: a fill-0 block is
+    # decoupled from bus activity.
+    gated_inputs: List[int] = []
+    if bus_inputs:
+        for k, ext in enumerate(bus_inputs):
+            net_pos.setdefault(ext, region.center)
+            gated = netlist.add_net(f"{prefix}_busin{k}")
+            pos = region.random_point(rng)
+            netlist.add_gate(
+                f"{prefix}_busen{k}",
+                DEFAULT_CELL_FOR_KIND["AND2"],
+                [ext, enable_q[k % n_enables]],
+                gated,
+                block=plan.name,
+                pos=pos,
+            )
+            net_pos[gated] = pos
+            gate_count += 1
+            gated_inputs.append(gated)
+
+    level_signals: List[List[int]] = [list(q_nets) + gated_inputs]
+    fanout_used: Dict[int, int] = {n: 0 for n in level_signals[0]}
+
+    # --- level-structured cloud ---------------------------------------
+    n_gates_total = max(plan.depth, int(plan.n_flops * plan.gates_per_flop))
+    per_level = max(1, n_gates_total // plan.depth)
+    jitter = max(region.width, region.height) * 0.06
+
+    for level in range(1, plan.depth + 1):
+        new_signals: List[int] = []
+        for _g in range(per_level):
+            kind = _sample_kind(rng)
+            arity = _KIND_ARITY[kind]
+            ins = _pick_inputs(
+                level_signals, fanout_used, arity, rng
+            )
+            out = netlist.add_net(f"{prefix}_n{level}_{len(new_signals)}_{gate_count}")
+            cx = float(np.mean([net_pos[n][0] for n in ins]))
+            cy = float(np.mean([net_pos[n][1] for n in ins]))
+            pos = (
+                _clamp(cx + rng.normal(0, jitter), region.x0, region.x1 - 1e-6),
+                _clamp(cy + rng.normal(0, jitter), region.y0, region.y1 - 1e-6),
+            )
+            netlist.add_gate(
+                f"{prefix}_g{gate_count}",
+                DEFAULT_CELL_FOR_KIND[kind],
+                ins,
+                out,
+                block=plan.name,
+                pos=pos,
+            )
+            net_pos[out] = pos
+            for n in ins:
+                fanout_used[n] = fanout_used.get(n, 0) + 1
+            fanout_used[out] = 0
+            new_signals.append(out)
+            gate_count += 1
+        level_signals.append(new_signals)
+
+    # --- flop D hookup: consume the deepest signals, enable-gated -----
+    deep_pool = [n for lvl in level_signals[-3:] for n in lvl]
+    domain_assignment = _assign_domains(plan, rng)
+    for i, q in enumerate(q_nets):
+        d = _pick_deep_signal(deep_pool, fanout_used, rng)
+        fanout_used[d] += 1
+        pos = (
+            _clamp(net_pos[d][0] + rng.normal(0, jitter),
+                   region.x0, region.x1 - 1e-6),
+            _clamp(net_pos[d][1] + rng.normal(0, jitter),
+                   region.y0, region.y1 - 1e-6),
+        )
+        # Load-enable register: D = enable ? cloud : Q (hold).  With the
+        # enable low the flop holds its scanned state, so neither fill-0
+        # blocks nor disabled groups under random fill launch anything.
+        gated = netlist.add_net(f"{prefix}_den{i}")
+        netlist.add_gate(
+            f"{prefix}_deng{i}",
+            DEFAULT_CELL_FOR_KIND["MUX2"],
+            [q, d, enable_q[i % n_enables]],
+            gated,
+            block=plan.name,
+            pos=pos,
+        )
+        net_pos[gated] = pos
+        gate_count += 1
+        fi = netlist.add_flop(
+            f"{prefix}_f{i}",
+            "SDFFX1",
+            d=gated,
+            q=q,
+            clock_domain=domain_assignment[i],
+            edge="pos",
+            is_scan=True,
+            block=plan.name,
+            pos=pos,
+        )
+        # flop placement also serves as the Q net's source position
+        net_pos[q] = pos
+        flop_indices.append(fi)
+
+    # --- observation trees for leftover logic -------------------------
+    leftovers = [
+        n
+        for lvl in level_signals[1:]
+        for n in lvl
+        if fanout_used.get(n, 0) == 0
+    ]
+    obs_count = 0
+    while leftovers:
+        group, leftovers = leftovers[:8], leftovers[8:]
+        # Balanced XOR reduction keeps observation depth to log2(group).
+        frontier = list(group)
+        stage = 0
+        while len(frontier) > 1:
+            nxt: List[int] = []
+            for j in range(0, len(frontier) - 1, 2):
+                a, b = frontier[j], frontier[j + 1]
+                out = netlist.add_net(f"{prefix}_obs{obs_count}_{stage}_{j}")
+                pos = net_pos[a]
+                netlist.add_gate(
+                    f"{prefix}_obsx{obs_count}_{stage}_{j}",
+                    DEFAULT_CELL_FOR_KIND["XOR2"],
+                    [a, b],
+                    out,
+                    block=plan.name,
+                    pos=pos,
+                )
+                net_pos[out] = pos
+                gate_count += 1
+                nxt.append(out)
+            if len(frontier) % 2 == 1:
+                nxt.append(frontier[-1])
+            frontier = nxt
+            stage += 1
+        signal = frontier[0]
+        # Observation registers are load-enable-gated like the data
+        # flops so a fill-0 block launches nothing.
+        q = netlist.add_net(f"{prefix}_obsq{obs_count}")
+        gated = netlist.add_net(f"{prefix}_obsen{obs_count}")
+        netlist.add_gate(
+            f"{prefix}_obseng{obs_count}",
+            DEFAULT_CELL_FOR_KIND["MUX2"],
+            [q, signal, enable_q[obs_count % n_enables]],
+            gated,
+            block=plan.name,
+            pos=net_pos[signal],
+        )
+        net_pos[gated] = net_pos[signal]
+        gate_count += 1
+        fi = netlist.add_flop(
+            f"{prefix}_obsf{obs_count}",
+            "SDFFX1",
+            d=gated,
+            q=q,
+            clock_domain=domain_assignment[0],
+            edge="pos",
+            is_scan=True,
+            block=plan.name,
+            pos=net_pos[signal],
+        )
+        net_pos[q] = net_pos[signal]
+        flop_indices.append(fi)
+        obs_count += 1
+
+    outputs = _pick_outputs(level_signals, n_outputs, rng)
+    return BlockResult(plan.name, flop_indices, outputs, gate_count)
+
+
+def _pick_inputs(
+    level_signals: List[List[int]],
+    fanout_used: Dict[int, int],
+    arity: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """Choose gate inputs: one from the previous level (depth guarantee),
+    the rest from a recent-level window, preferring unconsumed signals."""
+    prev = level_signals[-1] if level_signals[-1] else level_signals[0]
+    window = [n for lvl in level_signals[-3:] for n in lvl]
+    chosen: List[int] = []
+
+    def pick(pool: List[int]) -> int:
+        unused = [n for n in pool if fanout_used.get(n, 0) == 0]
+        src = unused if unused and rng.random() < 0.7 else pool
+        return int(src[rng.integers(len(src))])
+
+    chosen.append(pick(prev))
+    while len(chosen) < arity:
+        cand = pick(window)
+        if cand not in chosen or len(window) <= arity:
+            chosen.append(cand)
+    return chosen
+
+
+def _pick_deep_signal(
+    pool: List[int], fanout_used: Dict[int, int], rng: np.random.Generator
+) -> int:
+    unused = [n for n in pool if fanout_used.get(n, 0) == 0]
+    src = unused if unused else pool
+    return int(src[rng.integers(len(src))])
+
+
+def _assign_domains(plan: BlockPlan, rng: np.random.Generator) -> List[str]:
+    """Deterministically split the flops across domains by share."""
+    names = sorted(plan.domain_shares)
+    counts = {
+        name: int(round(plan.domain_shares[name] * plan.n_flops))
+        for name in names
+    }
+    # fix rounding drift on the largest-share domain
+    drift = plan.n_flops - sum(counts.values())
+    biggest = max(names, key=lambda d: plan.domain_shares[d])
+    counts[biggest] += drift
+    assignment: List[str] = []
+    for name in names:
+        assignment.extend([name] * counts[name])
+    perm = rng.permutation(len(assignment))
+    return [assignment[i] for i in perm]
+
+
+def _pick_outputs(
+    level_signals: List[List[int]], n_outputs: int, rng: np.random.Generator
+) -> List[int]:
+    deep = [n for lvl in level_signals[-2:] for n in lvl]
+    if not deep:
+        return []
+    k = min(n_outputs, len(deep))
+    idx = rng.choice(len(deep), size=k, replace=False)
+    return [deep[int(i)] for i in idx]

@@ -1,0 +1,248 @@
+"""Clock domains and synthesised clock trees.
+
+Each clock domain gets a recursive spatial clock tree: buffers placed at
+the centroid of progressively smaller flop clusters.  The per-flop
+*insertion delay* is the sum of loaded buffer delays from the root to the
+flop's leaf buffer plus a local wire term, so nearby flops share most of
+their path (low local skew) while distant flops diverge (global skew) —
+exactly the structure the paper's Figure 7 "Region 2" effect relies on:
+when IR-drop slows capture-path clock buffers relative to launch-path
+buffers, measured endpoint delays can *decrease*.
+
+Clock buffers are modelled outside the logic netlist (they drive no
+logic nets) but carry placement and switched capacitance so power and
+IR-drop analyses can charge the clock network's contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..netlist.library import Library, default_library
+
+#: Delay of the wire from leaf buffer to flop clock pin, per micrometre.
+_LEAF_WIRE_DELAY_NS_PER_UM = 0.0006
+
+#: Wire capacitance per micrometre of clock routing (fF/um).
+_CLOCK_WIRE_CAP_PER_UM = 0.20
+
+
+@dataclass(frozen=True)
+class ClockDomainSpec:
+    """Static description of one clock domain (the paper's Table 2 rows).
+
+    ``freq_mhz`` is the at-speed (launch-to-capture) frequency;
+    ``blocks`` lists the SOC blocks the domain's flops live in.
+    """
+
+    name: str
+    freq_mhz: float
+    blocks: Tuple[str, ...]
+
+    @property
+    def period_ns(self) -> float:
+        if self.freq_mhz <= 0:
+            raise ConfigError(f"domain {self.name!r} has no frequency")
+        return 1000.0 / self.freq_mhz
+
+
+@dataclass
+class ClockBuffer:
+    """One buffer instance in a clock tree."""
+
+    name: str
+    pos: Tuple[float, float]
+    parent: Optional[int]
+    cell: str = "CLKBUFX3"
+    #: Capacitive load driven by this buffer (children pins + wire), fF.
+    load_ff: float = 0.0
+
+
+class ClockTree:
+    """Spatial clock distribution tree for one domain."""
+
+    def __init__(
+        self,
+        domain: str,
+        buffers: List[ClockBuffer],
+        leaf_of_flop: Dict[int, int],
+        flop_positions: Dict[int, Tuple[float, float]],
+        library: Optional[Library] = None,
+    ):
+        self.domain = domain
+        self.buffers = buffers
+        self.leaf_of_flop = leaf_of_flop
+        self.flop_positions = flop_positions
+        self.library = library if library is not None else default_library()
+        self._path_cache: Dict[int, List[int]] = {}
+
+    def path_to_root(self, buffer_idx: int) -> List[int]:
+        """Buffer indexes from the root down to *buffer_idx* inclusive."""
+        cached = self._path_cache.get(buffer_idx)
+        if cached is not None:
+            return cached
+        path: List[int] = []
+        cur: Optional[int] = buffer_idx
+        while cur is not None:
+            path.append(cur)
+            cur = self.buffers[cur].parent
+        path.reverse()
+        self._path_cache[buffer_idx] = path
+        return path
+
+    def buffer_delay_ns(self, buffer_idx: int) -> float:
+        """Nominal loaded delay of one buffer stage."""
+        buf = self.buffers[buffer_idx]
+        return self.library.cell(buf.cell).loaded_delay_ns(buf.load_ff)
+
+    def insertion_delay_ns(
+        self,
+        flop_idx: int,
+        delay_scale: Optional[Callable[[ClockBuffer, float], float]] = None,
+    ) -> float:
+        """Clock arrival time at a flop, relative to the tree root.
+
+        Parameters
+        ----------
+        flop_idx:
+            Netlist flop index (must belong to this domain's tree).
+        delay_scale:
+            Optional ``f(buffer, nominal_delay) -> scaled_delay`` hook;
+            the IR-drop-aware re-simulation uses it to slow buffers in
+            droopy regions (paper Section 3.2).
+        """
+        leaf = self.leaf_of_flop.get(flop_idx)
+        if leaf is None:
+            raise ConfigError(
+                f"flop {flop_idx} is not clocked by domain {self.domain!r}"
+            )
+        total = 0.0
+        for bi in self.path_to_root(leaf):
+            nominal = self.buffer_delay_ns(bi)
+            total += (
+                delay_scale(self.buffers[bi], nominal)
+                if delay_scale is not None
+                else nominal
+            )
+        fx, fy = self.flop_positions[flop_idx]
+        lx, ly = self.buffers[leaf].pos
+        wire = (abs(fx - lx) + abs(fy - ly)) * _LEAF_WIRE_DELAY_NS_PER_UM
+        return total + wire
+
+    def skew_ns(self) -> float:
+        """Worst-case insertion-delay difference across the domain."""
+        delays = [self.insertion_delay_ns(f) for f in self.leaf_of_flop]
+        if not delays:
+            return 0.0
+        return max(delays) - min(delays)
+
+    def switched_cap_ff(self) -> float:
+        """Total capacitance toggled by one clock edge through the tree."""
+        lib = self.library
+        total = 0.0
+        for buf in self.buffers:
+            total += lib.cell(buf.cell).output_cap_ff + buf.load_ff
+        return total
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.buffers)
+
+
+def build_clock_tree(
+    domain: str,
+    flop_positions: Dict[int, Tuple[float, float]],
+    root_pos: Tuple[float, float],
+    leaf_size: int = 8,
+    library: Optional[Library] = None,
+) -> ClockTree:
+    """Recursively cluster the domain's flops and buffer each cluster.
+
+    The tree is a spatial bisection: each node splits its flop set along
+    the wider axis of its bounding box until at most *leaf_size* flops
+    remain, then a leaf buffer drives them.  Buffer loads are the pin and
+    wire capacitance of their children, so delays (and thus skew) follow
+    the physical structure.
+    """
+    if leaf_size < 1:
+        raise ConfigError("leaf_size must be >= 1")
+    lib = library if library is not None else default_library()
+    buffers: List[ClockBuffer] = []
+    leaf_of_flop: Dict[int, int] = {}
+
+    flops = sorted(flop_positions)
+    if not flops:
+        root = ClockBuffer(f"ctree_{domain}_root", root_pos, None)
+        return ClockTree(domain, [root], {}, dict(flop_positions), lib)
+
+    buf_spec = lib.cell("CLKBUFX3")
+    flop_clk_pin_ff = 3.0  # clock pin capacitance of a flop
+
+    def centroid(group: Sequence[int]) -> Tuple[float, float]:
+        xs = [flop_positions[f][0] for f in group]
+        ys = [flop_positions[f][1] for f in group]
+        return (float(np.mean(xs)), float(np.mean(ys)))
+
+    def split(group: List[int]) -> Tuple[List[int], List[int]]:
+        xs = [flop_positions[f][0] for f in group]
+        ys = [flop_positions[f][1] for f in group]
+        if (max(xs) - min(xs)) >= (max(ys) - min(ys)):
+            group = sorted(group, key=lambda f: flop_positions[f][0])
+        else:
+            group = sorted(group, key=lambda f: flop_positions[f][1])
+        mid = len(group) // 2
+        return group[:mid], group[mid:]
+
+    def build(group: List[int], parent: Optional[int], depth: int) -> int:
+        pos = centroid(group) if parent is not None else root_pos
+        idx = len(buffers)
+        buffers.append(
+            ClockBuffer(f"ctree_{domain}_b{idx}", pos, parent)
+        )
+        if len(group) <= leaf_size:
+            wire = 0.0
+            for f in group:
+                leaf_of_flop[f] = idx
+                fx, fy = flop_positions[f]
+                wire += (abs(fx - pos[0]) + abs(fy - pos[1]))
+            buffers[idx].load_ff = (
+                len(group) * flop_clk_pin_ff
+                + wire * _CLOCK_WIRE_CAP_PER_UM
+            )
+        else:
+            left, right = split(group)
+            li = build(left, idx, depth + 1)
+            ri = build(right, idx, depth + 1)
+            wire = 0.0
+            for child in (li, ri):
+                cx, cy = buffers[child].pos
+                wire += abs(cx - pos[0]) + abs(cy - pos[1])
+            buffers[idx].load_ff = (
+                2 * buf_spec.input_cap_ff + wire * _CLOCK_WIRE_CAP_PER_UM
+            )
+        return idx
+
+    build(list(flops), None, 0)
+    return ClockTree(domain, buffers, leaf_of_flop, dict(flop_positions), lib)
+
+
+def turbo_eagle_domains() -> Dict[str, ClockDomainSpec]:
+    """The six clock domains of the case study (paper Table 2).
+
+    clka is the dominant domain: it spans every block and owns roughly
+    three quarters of the scan flops; its at-speed period is the 20 ns
+    the paper uses for all pattern power measurements.
+    """
+    specs = [
+        ClockDomainSpec("clka", 50.0, ("B1", "B2", "B3", "B4", "B5", "B6")),
+        ClockDomainSpec("clkb", 100.0, ("B1",)),
+        ClockDomainSpec("clkc", 48.0, ("B3",)),
+        ClockDomainSpec("clkd", 24.0, ("B6",)),
+        ClockDomainSpec("clke", 12.0, ("B6",)),
+        ClockDomainSpec("clkf", 33.0, ("B2",)),
+    ]
+    return {s.name: s for s in specs}

@@ -1,0 +1,147 @@
+"""The :class:`SocDesign` aggregate and its characteristic reports.
+
+Bundles everything the experiments need about the generated SOC:
+netlist, floorplan, clock domains and trees, scan configuration and
+extracted parasitics, plus the accessors that produce the paper's
+Table 1 (design characteristics) and Table 2 (clock-domain analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import ConfigError
+from ..netlist.netlist import Netlist
+from ..netlist.parasitics import ParasiticModel, extract_net_caps
+from .clocks import ClockDomainSpec, ClockTree
+from .floorplan import Floorplan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..dft.scan import ScanConfig
+
+
+@dataclass
+class SocDesign:
+    """A generated Turbo-Eagle-like SOC, ready for DFT and analysis."""
+
+    name: str
+    netlist: Netlist
+    floorplan: Floorplan
+    domains: Dict[str, ClockDomainSpec]
+    clock_trees: Dict[str, ClockTree]
+    scale_name: str
+    seed: int
+    scan: Optional["ScanConfig"] = None
+    _parasitics: Optional[ParasiticModel] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    # lazy parasitics
+    # ------------------------------------------------------------------
+    @property
+    def parasitics(self) -> ParasiticModel:
+        """Per-net switched capacitance (extracted on first use)."""
+        if self._parasitics is None:
+            self._parasitics = extract_net_caps(self.netlist)
+        return self._parasitics
+
+    # ------------------------------------------------------------------
+    # structural accessors
+    # ------------------------------------------------------------------
+    def flops_in_domain(self, domain: str) -> List[int]:
+        if domain not in self.domains:
+            raise ConfigError(f"unknown clock domain {domain!r}")
+        return [
+            i
+            for i, f in enumerate(self.netlist.flops)
+            if f.clock_domain == domain
+        ]
+
+    def flops_in_block(self, block: str) -> List[int]:
+        return [
+            i for i, f in enumerate(self.netlist.flops) if f.block == block
+        ]
+
+    def gates_in_block(self, block: str) -> List[int]:
+        return [
+            i for i, g in enumerate(self.netlist.gates) if g.block == block
+        ]
+
+    def blocks(self) -> List[str]:
+        return sorted(self.floorplan.regions)
+
+    def enable_flops_in_block(self, block: str) -> List[int]:
+        """The block's load-enable configuration registers.
+
+        These are the self-holding flops gating every data register's
+        update (generated as ``<block>_enf<k>``); forcing them to 0
+        freezes the block — the isolation mechanism the paper wished it
+        had for B5.
+        """
+        return [
+            fi
+            for fi, f in enumerate(self.netlist.flops)
+            if f.block == block and "_enf" in f.name
+        ]
+
+    def dominant_domain(self) -> str:
+        """The clock domain owning the most scan flops (paper: clka)."""
+        counts = {d: len(self.flops_in_domain(d)) for d in self.domains}
+        return max(counts, key=counts.get)
+
+    def blocks_covered_by_domain(self, domain: str) -> List[str]:
+        found = sorted(
+            {
+                f.block
+                for f in self.netlist.flops
+                if f.clock_domain == domain and f.block is not None
+            }
+        )
+        return found
+
+    # ------------------------------------------------------------------
+    # characteristic tables
+    # ------------------------------------------------------------------
+    def characteristics(self) -> Dict[str, int]:
+        """Paper Table 1: design characteristics.
+
+        The transition-fault count is reported separately by
+        :func:`repro.atpg.faults.build_fault_universe` since it depends
+        on the fault model options.
+        """
+        n_chains = 0
+        if self.scan is not None:
+            n_chains = self.scan.n_chains
+        neg_edge = sum(
+            1 for f in self.netlist.flops if f.edge == "neg" and f.is_scan
+        )
+        return {
+            "clock_domains": len(self.domains),
+            "scan_chains": n_chains,
+            "total_scan_flops": len(self.netlist.scan_flops),
+            "negative_edge_scan_flops": neg_edge,
+            "gates": self.netlist.n_gates,
+        }
+
+    def domain_table(self) -> List[Dict[str, object]]:
+        """Paper Table 2: per-domain flop counts, frequency, blocks."""
+        rows: List[Dict[str, object]] = []
+        for name in sorted(self.domains):
+            spec = self.domains[name]
+            rows.append(
+                {
+                    "clock_domain": name,
+                    "scan_cells": len(self.flops_in_domain(name)),
+                    "frequency_mhz": spec.freq_mhz,
+                    "blocks_covered": ",".join(
+                        self.blocks_covered_by_domain(name)
+                    ),
+                }
+            )
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SocDesign {self.name!r} scale={self.scale_name!r} "
+            f"gates={self.netlist.n_gates} flops={self.netlist.n_flops}>"
+        )

@@ -1,0 +1,100 @@
+"""API-detail tests for accessors and small result types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ElectricalEnv
+from repro.core.ftas import FtasReport, PatternFtas
+from repro.core.irscale import IrScaledComparison
+from repro.errors import ConfigError
+from repro.pgrid.dynamic_ir import DynamicIrResult
+from repro.power.scap import PatternPowerProfile
+from repro.soc import build_turbo_eagle
+
+
+class TestSocAccessors:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return build_turbo_eagle("tiny", seed=151)
+
+    def test_unknown_domain_rejected(self, design):
+        with pytest.raises(ConfigError):
+            design.flops_in_domain("clkz")
+
+    def test_blocks_partition_placed_instances(self, design):
+        netlist = design.netlist
+        per_block = sum(
+            len(design.gates_in_block(b)) for b in design.blocks()
+        )
+        glue = sum(1 for g in netlist.gates if g.block is None)
+        assert per_block + glue == netlist.n_gates
+
+    def test_enable_flops_listed(self, design):
+        for block in design.blocks():
+            enables = design.enable_flops_in_block(block)
+            assert enables, block
+            for fi in enables:
+                assert "_enf" in design.netlist.flops[fi].name
+
+    def test_characteristics_consistent(self, design):
+        char = design.characteristics()
+        assert char["total_scan_flops"] == len(design.netlist.scan_flops)
+        assert char["gates"] == design.netlist.n_gates
+
+
+class TestSmallResultTypes:
+    def test_pattern_power_profile_validation(self):
+        with pytest.raises(ConfigError):
+            PatternPowerProfile(0, 0.0, 1.0, 1, 1.0)
+
+    def test_dynamic_ir_result_red_fraction(self):
+        drop = np.zeros(16)
+        drop[3] = 0.2
+        result = DynamicIrResult(
+            window_ns=5.0,
+            drop_vdd=drop,
+            drop_vss=np.zeros(16),
+            gate_droop_v=np.zeros(4),
+            flop_droop_v=np.zeros(2),
+            vdd=1.8,
+        )
+        assert result.worst_vdd_v == pytest.approx(0.2)
+        assert result.red_fraction() == pytest.approx(1 / 16)
+
+    def test_ir_scaled_comparison_regions(self):
+        ir = DynamicIrResult(
+            window_ns=5.0,
+            drop_vdd=np.zeros(4),
+            drop_vss=np.zeros(4),
+            gate_droop_v=np.zeros(1),
+            flop_droop_v=np.zeros(1),
+        )
+        comp = IrScaledComparison(
+            pattern_index=0,
+            nominal_ns={1: 2.0, 2: 3.0, 3: 0.0, 4: 1.0},
+            scaled_ns={1: 2.5, 2: 2.8, 3: 0.0, 4: 1.0},
+            ir=ir,
+        )
+        assert comp.region1() == [1]
+        assert comp.region2() == [2]
+        assert 3 not in comp.deltas()  # non-active excluded
+        assert comp.max_increase_pct() == pytest.approx(25.0)
+
+    def test_ftas_report_bins(self):
+        report = FtasReport(nominal_period_ns=20.0)
+        report.patterns.append(PatternFtas(0, 8.0, 10.0, 0.12))
+        report.patterns.append(PatternFtas(1, 15.0, 18.0, 0.12))
+        bins = report.bin_patterns([50.0, 100.0], ir_aware=True)
+        # pattern 0: fmax 100 MHz -> 100 bin; pattern 1: 55.6 -> 50 bin.
+        assert bins[100.0] == 1
+        assert bins[50.0] == 1
+        assert report.patterns[0].ir_headroom_loss_pct == pytest.approx(
+            25.0
+        )
+
+    def test_env_defaults(self):
+        env = ElectricalEnv()
+        assert env.vdd == pytest.approx(1.8)
+        assert env.k_volt == pytest.approx(0.9)

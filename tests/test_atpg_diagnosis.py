@@ -1,0 +1,95 @@
+"""Tests for cause-effect transition-fault diagnosis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg import (
+    AtpgEngine,
+    TransitionFaultDiagnoser,
+    build_fault_universe,
+    collapse_faults,
+)
+from repro.errors import AtpgError
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def setup():
+    design = build_turbo_eagle("tiny", seed=101)
+    engine = AtpgEngine(design.netlist, "clka", scan=design.scan, seed=3)
+    result = engine.run(fill="random")
+    diagnoser = TransitionFaultDiagnoser(design.netlist, "clka")
+    reps, _ = collapse_faults(
+        design.netlist, build_fault_universe(design.netlist)
+    )
+    detected = [f for f in reps if f in result.detected]
+    return design, result.pattern_set, diagnoser, detected, reps
+
+
+class TestDiagnosis:
+    def test_injected_fault_is_top_candidate(self, setup):
+        """Simulate defective chips and check the true fault ranks #1
+        (or ties at score 1.0) for most injections."""
+        _design, patterns, diagnoser, detected, reps = setup
+        rng = np.random.default_rng(0)
+        picks = rng.choice(len(detected), size=12, replace=False)
+        top1 = 0
+        exact_contains_truth = 0
+        for i in picks:
+            truth = detected[int(i)]
+            syndrome = diagnoser.observe(patterns, truth)
+            assert syndrome, "detected fault produced no syndrome"
+            result = diagnoser.diagnose(patterns, syndrome, reps)
+            assert result.candidates, truth
+            if result.best().fault == truth:
+                top1 += 1
+            if any(c.fault == truth for c in result.exact_matches()):
+                exact_contains_truth += 1
+        # The truth must be among the exact matches every time (its own
+        # syndrome matches itself perfectly)...
+        assert exact_contains_truth == len(picks)
+        # ...and usually the single best (equivalences can tie).
+        assert top1 >= len(picks) // 2
+
+    def test_equivalent_faults_tie(self, setup):
+        """Candidates with identical syndromes get identical scores."""
+        _design, patterns, diagnoser, detected, reps = setup
+        truth = detected[0]
+        syndrome = diagnoser.observe(patterns, truth)
+        result = diagnoser.diagnose(patterns, syndrome, reps)
+        exact = result.exact_matches()
+        assert exact
+        for cand in exact:
+            assert (
+                diagnoser.observe(patterns, cand.fault) == syndrome
+            )
+
+    def test_empty_syndrome_rejected(self, setup):
+        _design, patterns, diagnoser, _detected, reps = setup
+        with pytest.raises(AtpgError):
+            diagnoser.diagnose(patterns, frozenset(), reps)
+
+    def test_cone_filter_prunes(self, setup):
+        """Faults that cannot reach any failing endpoint are skipped
+        (scores exist only for structurally-possible causes)."""
+        design, patterns, diagnoser, detected, reps = setup
+        truth = detected[1]
+        syndrome = diagnoser.observe(patterns, truth)
+        result = diagnoser.diagnose(patterns, syndrome, reps,
+                                    top_k=len(reps))
+        failing_dnets = {
+            design.netlist.flops[fi].d for _p, fi in syndrome
+        }
+        for cand in result.candidates:
+            _g, captures = diagnoser.fsim._cone(cand.fault.net)
+            assert failing_dnets & set(captures)
+
+    def test_scores_sorted_descending(self, setup):
+        _design, patterns, diagnoser, detected, reps = setup
+        syndrome = diagnoser.observe(patterns, detected[2])
+        result = diagnoser.diagnose(patterns, syndrome, reps)
+        scores = [c.score for c in result.candidates]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0 < s <= 1.0 for s in scores)

@@ -1,0 +1,94 @@
+"""Tests for launch-off-shift test generation (related-work baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg import AtpgEngine, FaultSimulator, build_fault_universe
+from repro.atpg.faults import collapse_faults
+from repro.atpg.podem import PodemStatus, generate_test
+from repro.atpg.twoframe import TwoFrameState
+from repro.errors import AtpgError
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=7)
+
+
+class TestLosState:
+    def test_needs_scan(self, design):
+        with pytest.raises(AtpgError):
+            TwoFrameState(design.netlist, "clka", protocol="los")
+
+    def test_unknown_protocol(self, design):
+        with pytest.raises(AtpgError):
+            TwoFrameState(design.netlist, "clka", protocol="warp",
+                          scan=design.scan)
+
+    def test_frame2_source_mapping(self, design):
+        state = TwoFrameState(design.netlist, "clka", protocol="los",
+                              scan=design.scan)
+        chain = design.scan.chains[0]
+        head, second = chain.flops[0], chain.flops[1]
+        assert state.frame2_source(head) is None  # constant scan-in
+        assert state.frame2_source(second) == ("v1", head)
+
+    def test_assign_shifts_into_downstream(self, design):
+        state = TwoFrameState(design.netlist, "clka", protocol="los",
+                              scan=design.scan)
+        fault = build_fault_universe(design.netlist)[0]
+        state.set_fault(fault)
+        chain = design.scan.chains[0]
+        up, down = chain.flops[0], chain.flops[1]
+        state.assign(up, 1)
+        q_down = design.netlist.flops[down].q
+        assert state.g2[q_down] == 1
+
+    def test_loc_rejects_los_only_concepts(self, design):
+        state = TwoFrameState(design.netlist, "clka")
+        # LOC pulsed flop launches its frame-1 D value.
+        fi = state.pulsed[0]
+        assert state.frame2_source(fi) == (
+            "f1net", design.netlist.flops[fi].d
+        )
+
+
+class TestLosPodem:
+    def test_cubes_verify_in_los_fault_sim(self, design):
+        """Property: every LOS PODEM cube detects its fault under LOS
+        fault simulation (cross-engine consistency)."""
+        nl = design.netlist
+        state = TwoFrameState(nl, "clka", protocol="los", scan=design.scan)
+        fsim = FaultSimulator(nl, "clka")
+        reps, _ = collapse_faults(nl, build_fault_universe(nl))
+        rng = np.random.default_rng(1)
+        perm = rng.permutation(len(reps))[:80]
+        checked = 0
+        for i in perm:
+            fault = reps[int(i)]
+            result = generate_test(state, fault, max_backtracks=50)
+            if not result.success:
+                continue
+            v1 = np.zeros((1, nl.n_flops), dtype=np.uint8)
+            for flop, bit in result.cube.items():
+                v1[0, flop] = bit
+            words = fsim.run(v1, [fault], protocol="los", scan=design.scan)
+            assert words.get(fault, 0) & 1, fault
+            checked += 1
+        assert checked >= 20
+
+
+class TestLosEngine:
+    def test_full_run_consistent(self, design):
+        engine = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                            protocol="los", seed=3)
+        result = engine.run(fill="random")
+        assert result.inconsistent == []
+        assert result.test_coverage > 0.5
+
+    def test_los_engine_requires_scan(self, design):
+        with pytest.raises(AtpgError):
+            AtpgEngine(design.netlist, "clka", protocol="los")

@@ -1,0 +1,191 @@
+"""Tests for path-delay fault test generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg import (
+    PathTestStatus,
+    StructuralPath,
+    generate_path_test,
+    longest_path_tests,
+    path_from_endpoint,
+)
+from repro.atpg.twoframe import TwoFrameState
+from repro.errors import AtpgError
+from repro.netlist import Netlist
+from repro.netlist.cells import controlling_value
+from repro.sim import DelayModel, LogicSim, StaticTimingAnalyzer, loc_launch_capture
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=47)
+
+
+@pytest.fixture(scope="module")
+def sta(design):
+    dm = DelayModel(design.netlist, design.parasitics)
+    analyzer = StaticTimingAnalyzer(
+        design.netlist, dm, design.clock_trees["clka"],
+        period_ns=20.0, domain="clka",
+    )
+    analyzer.analyze()
+    return analyzer
+
+
+class TestPathExtraction:
+    def test_path_from_worst_endpoint(self, design, sta):
+        report = sta.analyze()
+        endpoint = report.worst_endpoints(1)[0]
+        path = path_from_endpoint(design.netlist, sta, endpoint)
+        assert path is not None
+        nets = path.nets(design.netlist)
+        # Path is structurally connected: each gate reads the previous
+        # net.
+        for gi, prev in zip(path.gates, nets):
+            assert prev in design.netlist.gates[gi].inputs
+        # Ends at the endpoint's D net.
+        assert nets[-1] == design.netlist.flops[endpoint.flop].d
+
+    def test_describe(self, design, sta):
+        report = sta.analyze()
+        path = path_from_endpoint(
+            design.netlist, sta, report.worst_endpoints(1)[0]
+        )
+        text = path.describe(design.netlist)
+        assert "->" in text
+
+
+class TestPathTestGeneration:
+    def _pipeline(self):
+        nl = Netlist("pp")
+        q0 = nl.add_net("q0")
+        q1 = nl.add_net("q1")
+        mid = nl.add_net("mid")
+        d0 = nl.add_net("d0")
+        d1 = nl.add_net("d1")
+        g_and = nl.add_gate("g_and", "AND2X1", [q0, q1], mid)
+        g_buf = nl.add_gate("g_buf", "BUFX2", [mid], d0)
+        nl.add_gate("g_inv", "INVX1", [q0], d1)
+        nl.add_flop("f0", "SDFFX1", d=d0, q=q0, clock_domain="clka",
+                    is_scan=True)
+        nl.add_flop("f1", "SDFFX1", d=d1, q=q1, clock_domain="clka",
+                    is_scan=True)
+        return nl, q1, (g_and, g_buf)
+
+    def test_simple_pipeline_fall_path(self):
+        """Hand-built circuit: the falling transition through the AND
+        is non-robustly testable (side input q0 launches to 1)."""
+        nl, src, gates = self._pipeline()
+        state = TwoFrameState(nl, "clka")
+        path = StructuralPath(source=src, gates=gates)
+        result = generate_path_test(state, path, "fall")
+        assert result.success
+        cube = result.cube
+        sim = LogicSim(nl)
+        v1 = {0: cube.get(0, 0), 1: cube.get(1, 0)}
+        cyc = loc_launch_capture(sim, v1, "clka")
+        assert v1[1] == 1                # fall: source starts at 1
+        assert cyc.launch_state[1] == 0  # and launches to 0
+        assert cyc.launch_state[0] == 1  # q0 non-controlling in frame 2
+
+    def test_simple_pipeline_rise_is_untestable(self):
+        """The rising transition through the same path is provably
+        untestable: launching q1 to 1 requires frame-1 q0 = 0, which
+        forces the frame-2 side input q0 = AND(0, x) = 0 (controlling).
+        The engine proves the conflict rather than aborting."""
+        nl, src, gates = self._pipeline()
+        state = TwoFrameState(nl, "clka")
+        path = StructuralPath(source=src, gates=gates)
+        result = generate_path_test(state, path, "rise")
+        assert result.status is PathTestStatus.UNTESTABLE
+
+    def test_bad_transition_rejected(self, design):
+        state = TwoFrameState(design.netlist, "clka")
+        path = StructuralPath(source=design.netlist.flops[0].q, gates=())
+        with pytest.raises(AtpgError):
+            generate_path_test(state, path, "wiggle")
+
+    def test_sta_paths_are_mostly_false_paths(self, design, sta):
+        """The classic false-path phenomenon: STA's structural worst
+        paths run through logic blocked by constant PIs / held enables,
+        so their non-robust tests are *proven* untestable (not merely
+        aborted)."""
+        state = TwoFrameState(design.netlist, "clka")
+        results = longest_path_tests(design.netlist, sta, state, k=6)
+        assert results, "no paths extracted"
+        proven = [
+            r for _p, r in results
+            if r.status is PathTestStatus.UNTESTABLE
+        ]
+        assert len(proven) >= len(results) // 2
+
+    def _simulated_paths(self, design, calculator, patterns, n=12):
+        import math
+
+        from repro.atpg import path_from_timing
+
+        nl = design.netlist
+        paths = []
+        for pattern in list(patterns)[:n]:
+            timing = calculator.simulate_pattern(pattern.v1_dict())
+            eps = [
+                (fi, float(timing.last_arrival_ns[nl.flops[fi].d]))
+                for fi in calculator.launch_time
+            ]
+            eps = [(fi, a) for fi, a in eps if not math.isnan(a)]
+            if not eps:
+                continue
+            worst = max(eps, key=lambda t: t[1])[0]
+            path = path_from_timing(nl, timing, worst)
+            if path is not None and path.gates:
+                paths.append(path)
+        return paths
+
+    def test_simulated_paths_are_testable(self, design):
+        """Paths extracted from real pattern simulations are
+        sensitizable by construction: most get non-robust tests."""
+        from repro.power import ScapCalculator
+        from repro.atpg import AtpgEngine
+
+        calc = ScapCalculator(design, "clka")
+        engine = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                            seed=5)
+        patterns = engine.run(fill="random", max_patterns=14).pattern_set
+        paths = self._simulated_paths(design, calc, patterns)
+        assert paths, "no simulated paths extracted"
+        state = TwoFrameState(design.netlist, "clka")
+        outcomes = []
+        for path in paths:
+            for transition in ("rise", "fall"):
+                result = generate_path_test(state, path, transition,
+                                            max_backtracks=150)
+                outcomes.append((path, result))
+                if result.success:
+                    break
+        successes = [(p, r) for p, r in outcomes if r.success]
+        assert len(successes) >= max(1, len(paths) // 3)
+
+        # Property: every successful cube really sensitizes the path's
+        # controlled side inputs in frame 2.
+        sim = LogicSim(design.netlist)
+        netlist = design.netlist
+        checked = 0
+        for path, result in successes:
+            v1 = {fi: result.cube.get(fi, 0)
+                  for fi in range(netlist.n_flops)}
+            cyc = loc_launch_capture(sim, v1, "clka")
+            path_nets = set(path.nets(netlist))
+            for gi in path.gates:
+                gate = netlist.gates[gi]
+                ctrl = controlling_value(gate.kind)
+                if ctrl is None:
+                    continue
+                for p in gate.inputs:
+                    if p not in path_nets:
+                        assert (cyc.frame2[p] & 1) == 1 - ctrl
+                        checked += 1
+        assert checked > 0

@@ -1,0 +1,132 @@
+"""Tests for the 3-valued calculus and the transition fault model."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.atpg.faults import (
+    STF,
+    STR,
+    TransitionFault,
+    build_fault_universe,
+    collapse_faults,
+    fault_block,
+)
+from repro.atpg.values import EVAL3, X, eval3
+from repro.errors import AtpgError
+from repro.netlist import Netlist
+from repro.netlist.cells import CELL_ARITY, evaluate_kind
+
+
+class TestValues3:
+    @pytest.mark.parametrize("kind", sorted(EVAL3))
+    def test_defined_inputs_match_boolean(self, kind):
+        """With no X inputs, 3-valued eval equals the boolean function."""
+        arity = CELL_ARITY[kind]
+        for bits in itertools.product((0, 1), repeat=arity):
+            expected = evaluate_kind(kind, list(bits), mask=1)
+            assert eval3(kind, list(bits)) == expected
+
+    @pytest.mark.parametrize("kind", sorted(EVAL3))
+    def test_monotone_refinement(self, kind):
+        """Property: defining an X input never flips a defined output.
+
+        (Pessimistic-exactness: out != X implies out is stable under any
+        completion of the X inputs.)
+        """
+        arity = CELL_ARITY[kind]
+        for vals in itertools.product((0, 1, X), repeat=arity):
+            out = eval3(kind, list(vals))
+            if out == X:
+                continue
+            x_positions = [i for i, v in enumerate(vals) if v == X]
+            for completion in itertools.product(
+                (0, 1), repeat=len(x_positions)
+            ):
+                filled = list(vals)
+                for pos, bit in zip(x_positions, completion):
+                    filled[pos] = bit
+                assert eval3(kind, filled) == out, (kind, vals, filled)
+
+    def test_controlling_values_dominate_x(self):
+        assert eval3("AND2", [0, X]) == 0
+        assert eval3("NAND3", [X, 0, X]) == 1
+        assert eval3("OR2", [1, X]) == 1
+        assert eval3("NOR2", [X, 1]) == 0
+        assert eval3("XOR2", [1, X]) == X
+
+    def test_mux_agreeing_data_beats_x_select(self):
+        assert eval3("MUX2", [1, 1, X]) == 1
+        assert eval3("MUX2", [0, 1, X]) == X
+
+    def test_unknown_kind(self):
+        with pytest.raises(AtpgError):
+            eval3("FOO", [0])
+
+
+class TestFaults:
+    def test_fault_values(self):
+        str_f = TransitionFault(3, STR)
+        assert str_f.initial_value == 0
+        assert str_f.final_value == 1
+        stf_f = TransitionFault(3, STF)
+        assert stf_f.initial_value == 1
+        assert stf_f.final_value == 0
+
+    def test_bad_kind(self):
+        with pytest.raises(AtpgError):
+            TransitionFault(0, "slow")
+
+    def test_universe_counts(self, tiny_seq):
+        faults = build_fault_universe(tiny_seq)
+        # 2 faults per stem, stems = 2 gates + 2 flops.
+        assert len(faults) == 2 * (tiny_seq.n_gates + tiny_seq.n_flops)
+
+    def test_universe_block_filter(self):
+        nl = Netlist("two_blocks")
+        q = nl.add_net("q")
+        y = nl.add_net("y")
+        z = nl.add_net("z")
+        nl.add_gate("g1", "INVX1", [q], y, block="A")
+        nl.add_gate("g2", "INVX1", [y], z, block="B")
+        nl.add_flop("f", "SDFFX1", d=z, q=q, clock_domain="c", is_scan=True,
+                    block="A")
+        only_a = build_fault_universe(nl, blocks=["A"])
+        assert {f.net for f in only_a} == {y, q}
+
+    def test_collapse_through_inverter_flips_kind(self):
+        nl = Netlist("chain")
+        q = nl.add_net("q")
+        a = nl.add_net("a")
+        b = nl.add_net("b")
+        nl.add_gate("g_inv", "INVX1", [q], a)
+        nl.add_gate("g_buf", "BUFX2", [a], b)
+        nl.add_flop("f", "SDFFX1", d=b, q=q, clock_domain="c", is_scan=True)
+        faults = build_fault_universe(nl)
+        reps, mapping = collapse_faults(nl, faults)
+        # STR at b == STR at a (buf) == STF at q (inv).
+        assert mapping[TransitionFault(b, STR)] == TransitionFault(q, STF)
+        assert mapping[TransitionFault(a, STR)] == TransitionFault(q, STF)
+        # Representatives: only the two faults on q remain.
+        assert set(reps) == {TransitionFault(q, STR), TransitionFault(q, STF)}
+
+    def test_collapse_reduces_universe(self, tiny_comb):
+        # No single-input gates in tiny_comb: collapsing is identity.
+        faults = build_fault_universe(tiny_comb)
+        reps, mapping = collapse_faults(tiny_comb, faults)
+        assert len(reps) == len(faults)
+        assert all(mapping[f] == f for f in faults)
+
+    def test_fault_block_attribution(self):
+        nl = Netlist("fb")
+        q = nl.add_net("q")
+        y = nl.add_net("y")
+        nl.add_gate("g", "INVX1", [q], y, block="B5")
+        nl.add_flop("f", "SDFFX1", d=y, q=q, clock_domain="c", is_scan=True,
+                    block="B2")
+        assert fault_block(nl, TransitionFault(y, STR)) == "B5"
+        assert fault_block(nl, TransitionFault(q, STF)) == "B2"

@@ -1,0 +1,59 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_floorplan(self, capsys):
+        assert main(["floorplan", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "5" in out and "+" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "clock_domains" in out
+        assert "transition_delay_faults" in out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "clka" in out
+
+    def test_atpg_writes_stil(self, tmp_path, capsys):
+        out_file = tmp_path / "pats.stil"
+        assert main([
+            "atpg", "--scale", "tiny", "--fill", "0",
+            "--output", str(out_file),
+        ]) == 0
+        text = out_file.read_text()
+        assert text.startswith("STIL 1.0;")
+        assert "Pattern 0 {" in text
+        printed = capsys.readouterr().out
+        assert "patterns" in printed
+
+    def test_atpg_los_protocol(self, capsys):
+        assert main(["atpg", "--scale", "tiny", "--protocol", "los"]) == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_scap_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "pats.stil"
+        main(["atpg", "--scale", "tiny", "--fill", "0",
+              "--output", str(out_file)])
+        capsys.readouterr()
+        code = main(["scap", str(out_file), "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert "patterns exceed" in out
+        assert code in (0, 1)  # 1 when violations exist
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["transmogrify"])
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["floorplan", "--scale", "huge"])

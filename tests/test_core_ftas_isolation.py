@@ -1,0 +1,107 @@
+"""Tests for FTAS analysis and the isolation-DFT flow option."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CaseStudy
+from repro.core import NoiseAwarePatternGenerator, ftas_analysis
+from repro.core.validation import validate_pattern_set
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CaseStudy(scale="tiny", seed=2007, backtrack_limit=60)
+
+
+class TestFtas:
+    @pytest.fixture(scope="class")
+    def report(self, study):
+        return ftas_analysis(
+            study.calculator,
+            study.model,
+            study.conventional().pattern_set,
+            sample=10,
+        )
+
+    def test_per_pattern_periods(self, report):
+        assert report.patterns
+        for p in report.patterns:
+            # IR-drop never shortens the safe period.
+            assert p.min_period_ir_ns >= p.min_period_nominal_ns
+            # All patterns fit the nominal cycle (design timing-closed).
+            assert p.min_period_nominal_ns < report.nominal_period_ns
+
+    def test_headroom_loss_positive(self, report):
+        assert report.mean_headroom_loss_pct() >= 0.0
+
+    def test_ftas_binning(self, report):
+        freqs = [50.0, 75.0, 100.0, 150.0]
+        nominal_bins = report.bin_patterns(freqs, ir_aware=False)
+        ir_bins = report.bin_patterns(freqs, ir_aware=True)
+        assert sum(nominal_bins.values()) == len(report.patterns)
+        assert sum(ir_bins.values()) == len(report.patterns)
+        # IR-aware binning never runs a pattern *faster*: the count in
+        # the fastest bins cannot grow.
+        ordered = sorted(freqs, reverse=True)
+        for k in range(1, len(ordered) + 1):
+            fast_nominal = sum(nominal_bins[f] for f in ordered[:k])
+            fast_ir = sum(ir_bins[f] for f in ordered[:k])
+            assert fast_ir <= fast_nominal
+
+    def test_every_pattern_overclockable(self, report):
+        """FTAS premise: typical patterns exercise paths shorter than
+        the functional cycle, so they can run faster than at-speed."""
+        faster = [
+            p for p in report.patterns
+            if p.max_freq_mhz(ir_aware=True) > 1000.0 / report.nominal_period_ns
+        ]
+        assert len(faster) >= len(report.patterns) // 2
+
+    def test_bad_margins_rejected(self, study):
+        with pytest.raises(ConfigError):
+            ftas_analysis(
+                study.calculator, study.model,
+                study.conventional().pattern_set, sample=2,
+                margin_ns=-1.0,
+            )
+
+
+class TestIsolation:
+    def test_isolated_flow_keeps_prefix_silent(self, study):
+        flow = NoiseAwarePatternGenerator(
+            study.design, seed=1, isolate_untargeted=True,
+            backtrack_limit=60,
+        ).run()
+        report = validate_pattern_set(
+            study.calculator, flow.pattern_set, study.thresholds_mw
+        )
+        series = report.scap_series("B5")
+        b5_start = flow.step_boundaries[-1]
+        prefix = series[:b5_start]
+        # With hard isolation the prefix is exactly quiet in B5.
+        assert prefix.size == 0 or prefix.max() == 0.0
+
+    def test_isolation_forces_enables_low(self, study):
+        flow = NoiseAwarePatternGenerator(
+            study.design, seed=1, isolate_untargeted=True,
+            backtrack_limit=60,
+        ).run()
+        b5_start = flow.step_boundaries[-1]
+        enables = study.design.enable_flops_in_block("B5")
+        for pattern in list(flow.pattern_set)[:b5_start]:
+            for fi in enables:
+                assert pattern.v1[fi] == 0
+                assert pattern.care[fi]  # constrained, not just filled
+
+    def test_isolation_coverage_comparable(self, study):
+        base = NoiseAwarePatternGenerator(
+            study.design, seed=1, backtrack_limit=60,
+        ).run()
+        isolated = NoiseAwarePatternGenerator(
+            study.design, seed=1, isolate_untargeted=True,
+            backtrack_limit=60,
+        ).run()
+        assert abs(base.test_coverage - isolated.test_coverage) < 0.12

@@ -1,0 +1,84 @@
+"""Tests for the overkill (IR-induced false failure) analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CaseStudy
+from repro.core import overkill_analysis
+from repro.errors import ConfigError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CaseStudy(scale="tiny", seed=2007, backtrack_limit=60)
+
+
+@pytest.fixture(scope="module")
+def fast_period(study):
+    """A faster-than-at-speed period that the sampled conventional
+    patterns meet nominally (with a thin margin)."""
+    report = overkill_analysis(
+        study.calculator, study.model,
+        study.conventional().pattern_set, sample=10,
+    )
+    # All patterns pass at the nominal period...
+    assert report.n_at_risk == 0
+    assert all(not p.nominal_failures for p in report.patterns)
+    # ...so pick a period that every sampled pattern meets nominally but
+    # where at least one pattern's IR-scaled delay no longer fits:
+    # just above the worst *nominal* endpoint delay.
+    worst_nominal = max(p.worst_nominal_ns for p in report.patterns)
+    return worst_nominal + report.setup_ns + 0.05
+
+
+class TestOverkill:
+    def test_no_overkill_at_speed(self, study):
+        report = overkill_analysis(
+            study.calculator, study.model,
+            study.conventional().pattern_set, sample=8,
+        )
+        assert report.risk_fraction == 0.0
+
+    def test_overkill_appears_when_overclocked(self, study, fast_period):
+        report = overkill_analysis(
+            study.calculator, study.model,
+            study.conventional().pattern_set, sample=10,
+            period_ns=fast_period,
+        )
+        # The thin margin survives nominally but not under IR-drop.
+        assert all(not p.nominal_failures for p in report.patterns)
+        assert report.n_at_risk > 0
+        assert report.total_overkill_endpoints() > 0
+
+    def test_staged_patterns_less_overkill(self, study, fast_period):
+        conv = overkill_analysis(
+            study.calculator, study.model,
+            study.conventional().pattern_set, sample=10,
+            period_ns=fast_period,
+        )
+        stag = overkill_analysis(
+            study.calculator, study.model,
+            study.staged().pattern_set, sample=10,
+            period_ns=fast_period,
+        )
+        # Quieter patterns droop less; they cannot be *more* at risk per
+        # overkill endpoint count at the same period.
+        assert (
+            stag.total_overkill_endpoints()
+            <= conv.total_overkill_endpoints()
+        )
+
+    def test_bad_period_rejected(self, study):
+        with pytest.raises(ConfigError):
+            overkill_analysis(
+                study.calculator, study.model,
+                study.conventional().pattern_set, sample=2,
+                period_ns=0.05,
+            )
+        with pytest.raises(ConfigError):
+            overkill_analysis(
+                study.calculator, study.model,
+                study.conventional().pattern_set, sample=2,
+                setup_ns=-1.0,
+            )

@@ -1,0 +1,118 @@
+"""Tests for pattern repair and the full-chip multi-domain flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CaseStudy
+from repro.atpg import (
+    FaultSimulator,
+    build_fault_universe,
+    collapse_faults,
+)
+from repro.core import repair_pattern_set, run_full_chip
+from repro.core.validation import validate_pattern_set
+from repro.errors import ConfigError
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CaseStudy(scale="tiny", seed=2007, backtrack_limit=60)
+
+
+class TestRepair:
+    @pytest.fixture(scope="class")
+    def outcome(self, study):
+        fsim = FaultSimulator(study.design.netlist, study.domain)
+        reps, _ = collapse_faults(
+            study.design.netlist,
+            build_fault_universe(study.design.netlist),
+        )
+        return repair_pattern_set(
+            study.calculator,
+            study.conventional().pattern_set,
+            study.thresholds_mw,
+            fsim=fsim,
+            faults=reps,
+            report=study.validation("conventional"),
+        )
+
+    def test_violations_reduced(self, study, outcome):
+        assert outcome.violations_after < outcome.violations_before
+        # Re-filling fixes the violations the random filler caused; the
+        # unrepairable rest violate through their own care-bit activity
+        # (they need regeneration, not refill).
+        assert outcome.repair_rate > 0.1
+        assert outcome.repaired_patterns
+
+    def test_set_size_preserved(self, study, outcome):
+        assert len(outcome.repaired_set) == len(
+            study.conventional().pattern_set
+        )
+
+    def test_care_bits_untouched(self, study, outcome):
+        original = study.conventional().pattern_set
+        for before, after in zip(original, outcome.repaired_set):
+            assert (before.care == after.care).all()
+            assert (
+                before.v1[before.care] == after.v1[after.care]
+            ).all()
+
+    def test_targeted_detections_survive(self, study, outcome):
+        """Care bits preserved => primary targets still detected, so the
+        coverage loss is bounded to fortuitous detections."""
+        assert outcome.faults_after <= outcome.faults_before
+        assert outcome.faults_after > 0.8 * outcome.faults_before
+
+    def test_repaired_patterns_marked(self, outcome):
+        for idx in outcome.repaired_patterns:
+            assert outcome.repaired_set[idx].fill == "0(repaired)"
+
+
+class TestFullChip:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return build_turbo_eagle("tiny", seed=2007)
+
+    @pytest.fixture(scope="class")
+    def result(self, design):
+        return run_full_chip(design, seed=1, backtrack_limit=40)
+
+    def test_dominant_first_and_staged(self, design, result):
+        assert result.outcomes[0].domain == design.dominant_domain()
+        assert result.outcomes[0].flow_name == "noise_aware_staged"
+
+    def test_all_populated_domains_run(self, design, result):
+        ran = {o.domain for o in result.outcomes}
+        populated = {
+            d for d in design.domains if design.flops_in_domain(d)
+        }
+        # Later domains may be skipped only when nothing remains.
+        assert result.outcomes[0].domain in ran
+        assert ran.issubset(populated)
+
+    def test_no_double_counting(self, design, result):
+        """Each fault is credited to exactly one domain, so the sum of
+        per-domain detections cannot exceed the collapsed universe."""
+        reps, _ = collapse_faults(
+            design.netlist, build_fault_universe(design.netlist)
+        )
+        assert result.total_detected <= len(reps)
+
+    def test_secondary_domains_add_coverage(self, result):
+        dominant_detected = result.outcomes[0].detected
+        assert result.total_detected >= dominant_detected
+        assert result.total_patterns >= len(result.outcomes[0].pattern_set)
+
+    def test_baseline_variant(self, design):
+        base = run_full_chip(
+            design, noise_aware_dominant=False, seed=1,
+            backtrack_limit=40,
+        )
+        assert base.outcomes[0].flow_name == "conventional"
+
+    def test_needs_scan(self, design):
+        bare = build_turbo_eagle("tiny", seed=3, insert_scan=False)
+        with pytest.raises(ConfigError):
+            run_full_chip(bare)

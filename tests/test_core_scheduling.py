@@ -1,0 +1,114 @@
+"""Tests for power-constrained SOC test scheduling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import CaseStudy
+from repro.core import (
+    BlockTestTask,
+    schedule_block_tests,
+    tasks_from_flow,
+)
+from repro.errors import ConfigError
+
+
+def _tasks():
+    return [
+        BlockTestTask("B1", 100.0, 2.0),
+        BlockTestTask("B2", 80.0, 3.0),
+        BlockTestTask("B3", 60.0, 2.5),
+        BlockTestTask("B4", 50.0, 1.0),
+        BlockTestTask("B5", 200.0, 6.0),
+        BlockTestTask("B6", 90.0, 2.0),
+    ]
+
+
+class TestScheduler:
+    def test_budget_respected(self):
+        schedule = schedule_block_tests(_tasks(), power_budget_mw=7.0)
+        for session in schedule.sessions:
+            assert session.power_mw <= 7.0
+        assert schedule.peak_power_mw <= 7.0
+
+    def test_every_block_scheduled_once(self):
+        schedule = schedule_block_tests(_tasks(), power_budget_mw=7.0)
+        assert sorted(schedule.blocks()) == [
+            "B1", "B2", "B3", "B4", "B5", "B6",
+        ]
+
+    def test_parallelism_beats_serial(self):
+        schedule = schedule_block_tests(_tasks(), power_budget_mw=10.0)
+        assert schedule.makespan_us < schedule.serial_time_us
+        assert schedule.speedup > 1.0
+
+    def test_tight_budget_degenerates_to_serial(self):
+        # Budget fits exactly one task at a time (max power is 6).
+        schedule = schedule_block_tests(_tasks(), power_budget_mw=6.0)
+        # B5 (6.0) must be alone; everything else may still pair up.
+        b5_session = next(
+            s for s in schedule.sessions
+            if any(t.block == "B5" for t in s.tasks)
+        )
+        assert len(b5_session.tasks) == 1
+
+    def test_infeasible_task_rejected(self):
+        with pytest.raises(ConfigError):
+            schedule_block_tests(_tasks(), power_budget_mw=5.0)
+
+    def test_duplicate_block_rejected(self):
+        tasks = _tasks() + [BlockTestTask("B1", 10.0, 1.0)]
+        with pytest.raises(ConfigError):
+            schedule_block_tests(tasks, power_budget_mw=10.0)
+
+    def test_invalid_task_values(self):
+        with pytest.raises(ConfigError):
+            BlockTestTask("B1", -1.0, 1.0)
+        with pytest.raises(ConfigError):
+            BlockTestTask("B1", 1.0, -1.0)
+        with pytest.raises(ConfigError):
+            schedule_block_tests(_tasks(), power_budget_mw=0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=1.0, max_value=500.0),
+            min_size=1, max_size=10,
+        ),
+        powers=st.lists(
+            st.floats(min_value=0.1, max_value=5.0),
+            min_size=10, max_size=10,
+        ),
+    )
+    def test_properties_hold_for_random_tasks(self, times, powers):
+        tasks = [
+            BlockTestTask(f"X{i}", t, powers[i])
+            for i, t in enumerate(times)
+        ]
+        schedule = schedule_block_tests(tasks, power_budget_mw=5.0)
+        assert sorted(schedule.blocks()) == sorted(t.block for t in tasks)
+        for session in schedule.sessions:
+            assert session.power_mw <= 5.0 + 1e-9
+        # Makespan is bounded by serial time and by the longest task.
+        assert schedule.makespan_us <= schedule.serial_time_us + 1e-9
+        assert schedule.makespan_us >= max(t.test_time_us for t in tasks)
+
+
+class TestTasksFromFlow:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return CaseStudy(scale="tiny", seed=2007, backtrack_limit=60)
+
+    def test_staged_flow_tasks(self, study):
+        flow = study.staged()
+        tasks = tasks_from_flow(
+            study.design, flow, study.thresholds_mw
+        )
+        blocks = [t.block for t in tasks]
+        assert set(blocks) == {"B1", "B2", "B3", "B4", "B5", "B6"}
+        assert all(t.test_time_us > 0 for t in tasks)
+        budget = sum(study.thresholds_mw.values())
+        schedule = schedule_block_tests(tasks, power_budget_mw=budget)
+        assert schedule.speedup >= 1.0

@@ -1,0 +1,106 @@
+"""Tests for scan insertion, chain ordering and test protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dft import (
+    ENHANCED_SCAN,
+    LAUNCH_OFF_CAPTURE,
+    LAUNCH_OFF_SHIFT,
+    chain_wirelength,
+    insert_scan_chains,
+    order_flops_serpentine,
+)
+from repro.dft.protocol import AtSpeedProtocol
+from repro.errors import ScanError
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=5)
+
+
+class TestScanInsertion:
+    def test_every_scan_flop_on_exactly_one_chain(self, design):
+        seen = {}
+        for chain in design.scan.chains:
+            for fi in chain.flops:
+                assert fi not in seen, "flop on two chains"
+                seen[fi] = chain.index
+        assert set(seen) == set(design.netlist.scan_flops)
+
+    def test_chain_fields_written_back(self, design):
+        for chain in design.scan.chains:
+            for pos, fi in enumerate(chain.flops):
+                flop = design.netlist.flops[fi]
+                assert flop.chain == chain.index
+                assert flop.chain_pos == pos
+
+    def test_negative_edge_flops_on_dedicated_last_chain(self, design):
+        last = design.scan.chains[-1]
+        assert last.edge == "neg"
+        nl = design.netlist
+        assert all(nl.flops[fi].edge == "neg" for fi in last.flops)
+        for chain in design.scan.chains[:-1]:
+            assert all(nl.flops[fi].edge == "pos" for fi in chain.flops)
+
+    def test_positive_chains_balanced(self, design):
+        lengths = [c.length for c in design.scan.chains[:-1]]
+        assert max(lengths) - min(lengths) <= 2
+
+    def test_too_many_chains_rejected(self, design):
+        with pytest.raises(ScanError):
+            insert_scan_chains(design, n_chains=10_000)
+
+    def test_neighbors_map(self, design):
+        up = design.scan.neighbors_along_chains(design.netlist)
+        chain = design.scan.chains[0]
+        assert chain.flops[0] not in up
+        for pos in range(1, chain.length):
+            assert up[chain.flops[pos]] == chain.flops[pos - 1]
+
+
+class TestChainOrdering:
+    def test_serpentine_beats_random_order(self, design):
+        nl = design.netlist
+        flops = design.scan.chains[0].flops
+        ordered = order_flops_serpentine(nl, flops)
+        assert sorted(ordered) == sorted(flops)
+        # Compare against a deliberately shuffled order.
+        shuffled = list(flops)
+        shuffled.reverse()
+        shuffled = shuffled[::2] + shuffled[1::2]
+        assert chain_wirelength(nl, ordered) <= chain_wirelength(
+            nl, shuffled
+        ) * 1.05
+
+    def test_wirelength_empty_and_single(self, design):
+        nl = design.netlist
+        assert chain_wirelength(nl, []) == 0.0
+        assert chain_wirelength(nl, [0]) == 0.0
+
+
+class TestProtocols:
+    def test_styles(self):
+        assert LAUNCH_OFF_CAPTURE.v2_is_functional
+        assert not LAUNCH_OFF_SHIFT.v2_is_functional
+        assert not ENHANCED_SCAN.v2_is_functional
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ScanError):
+            AtSpeedProtocol("warp", "not a protocol")
+
+    def test_los_shift_state(self, design):
+        scan = design.scan
+        v1 = {fi: (i % 2) for i, fi in enumerate(design.netlist.scan_flops)}
+        v2 = LAUNCH_OFF_SHIFT.shift_state(v1, scan, scan_in_bits={0: 1})
+        chain = scan.chains[0]
+        assert v2[chain.flops[0]] == 1  # scan-in bit
+        for pos in range(1, chain.length):
+            assert v2[chain.flops[pos]] == v1[chain.flops[pos - 1]]
+
+    def test_shift_state_loc_rejected(self, design):
+        with pytest.raises(ScanError):
+            LAUNCH_OFF_CAPTURE.shift_state({}, design.scan)

@@ -1,0 +1,78 @@
+"""Tests for the per-block target cap (the paper's wishlist ATPG
+option) and the per-pattern merged-fault bookkeeping."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.atpg import AtpgEngine
+from repro.atpg.faults import fault_block
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=71)
+
+
+def _targets_per_block(design, pattern):
+    nl = design.netlist
+    nl.freeze()
+    counts: Counter = Counter()
+    for net in pattern.targeted_faults:
+        drv = nl.driver_of(net)
+        block = None
+        if drv is not None and drv[0] == "gate":
+            block = nl.gates[drv[1]].block
+        elif drv is not None and drv[0] == "flop":
+            block = nl.flops[drv[1]].block
+        counts[block] += 1
+    return counts
+
+
+class TestBlockCap:
+    def test_targets_recorded(self, design):
+        engine = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                            seed=2)
+        result = engine.run(fill="0", max_patterns=10)
+        multi = [p for p in result.pattern_set
+                 if len(p.targeted_faults) > 1]
+        assert multi, "compaction recorded no merged targets"
+
+    def test_cap_respected(self, design):
+        engine = AtpgEngine(
+            design.netlist, "clka", scan=design.scan, seed=2,
+            max_targets_per_block=2,
+        )
+        result = engine.run(fill="0", max_patterns=15)
+        for pattern in result.pattern_set:
+            counts = _targets_per_block(design, pattern)
+            for block, count in counts.items():
+                if block is not None:
+                    assert count <= 2, (pattern.index, block, count)
+
+    def test_cap_costs_patterns_not_coverage(self, design):
+        plain = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                           seed=2).run(fill="0")
+        capped = AtpgEngine(
+            design.netlist, "clka", scan=design.scan, seed=2,
+            max_targets_per_block=1,
+        ).run(fill="0")
+        assert capped.n_patterns >= plain.n_patterns
+        assert abs(capped.test_coverage - plain.test_coverage) < 0.08
+
+    def test_mean_targets_drop_under_cap(self, design):
+        plain = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                           seed=2).run(fill="0", max_patterns=20)
+        capped = AtpgEngine(
+            design.netlist, "clka", scan=design.scan, seed=2,
+            max_targets_per_block=1,
+        ).run(fill="0", max_patterns=20)
+
+        def mean_targets(res):
+            totals = [len(p.targeted_faults) for p in res.pattern_set]
+            return sum(totals) / max(1, len(totals))
+
+        assert mean_targets(capped) <= mean_targets(plain)

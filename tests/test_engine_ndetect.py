@@ -1,0 +1,65 @@
+"""Tests for N-detect pattern generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg import (
+    AtpgEngine,
+    FaultSimulator,
+    build_fault_universe,
+    collapse_faults,
+)
+from repro.errors import AtpgError
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=113)
+
+
+class TestNDetect:
+    @pytest.fixture(scope="class")
+    def runs(self, design):
+        out = {}
+        for n in (1, 3):
+            engine = AtpgEngine(design.netlist, "clka",
+                                scan=design.scan, seed=4)
+            out[n] = engine.run(fill="random", n_detect=n)
+        return out
+
+    def test_more_patterns_for_higher_n(self, runs):
+        assert runs[3].n_patterns > runs[1].n_patterns
+
+    def test_coverage_not_lost(self, runs):
+        assert runs[3].test_coverage >= runs[1].test_coverage - 0.02
+
+    def test_detection_multiplicity(self, design, runs):
+        """Most detected faults really are caught by >= 3 patterns in
+        the N=3 set (hard faults may saturate below the quota)."""
+        fsim = FaultSimulator(design.netlist, "clka")
+        matrix = runs[3].pattern_set.as_matrix()
+        sample = list(runs[3].detected)[:60]
+        counts = {f: 0 for f in sample}
+        for lo in range(0, matrix.shape[0], 64):
+            words = fsim.run(matrix[lo:lo + 64], sample)
+            for fault, word in words.items():
+                counts[fault] += bin(word).count("1")
+        satisfied = sum(1 for c in counts.values() if c >= 3)
+        assert satisfied >= 0.7 * len(sample)
+
+    def test_first_detection_indices_valid(self, runs):
+        res = runs[3]
+        for fault, idx in res.detected.items():
+            assert 0 <= idx < res.n_patterns
+
+    def test_invalid_n_rejected(self, design):
+        engine = AtpgEngine(design.netlist, "clka", scan=design.scan)
+        with pytest.raises(AtpgError):
+            engine.run(n_detect=0)
+
+    def test_no_inconsistencies(self, runs):
+        for res in runs.values():
+            assert res.inconsistent == []

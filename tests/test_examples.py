@@ -1,0 +1,42 @@
+"""Smoke tests: every shipped example runs end to end at tiny scale.
+
+These are the library's integration surface — if an API change breaks a
+walkthrough, this is where it shows up.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart",
+    "case_study_ir_drop",
+    "power_aware_atpg",
+    "pattern_debug_ir_scaling",
+    "fill_and_protocol_survey",
+    "advanced_toolkit",
+    "production_debug_workflow",
+]
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main("tiny")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} printed nothing"
+    assert "Traceback" not in out

@@ -1,0 +1,173 @@
+"""Detail tests for helper functions across subpackages."""
+
+from __future__ import annotations
+
+import io
+import math
+
+import numpy as np
+import pytest
+
+from repro.dft import Misr
+from repro.dft.compression import EdtCompressor
+from repro.errors import ConfigError, ScanError
+from repro.netlist import Netlist, parse_verilog, write_verilog
+from repro.soc import build_turbo_eagle
+from repro.soc.blocks import BlockPlan, _assign_domains, _sample_kind
+from repro.soc.clocks import ClockDomainSpec, build_clock_tree
+from repro.soc.floorplan import make_turbo_eagle_floorplan
+
+
+class TestBlockHelpers:
+    def test_assign_domains_counts(self):
+        plan = BlockPlan("B9", 20, 4.0, 4,
+                         {"clka": 0.7, "clkb": 0.3})
+        rng = np.random.default_rng(0)
+        assignment = _assign_domains(plan, rng)
+        assert len(assignment) == 20
+        assert assignment.count("clka") == 14
+        assert assignment.count("clkb") == 6
+
+    def test_assign_domains_rounding_drift(self):
+        plan = BlockPlan("B9", 7, 4.0, 4,
+                         {"clka": 0.5, "clkb": 0.5})
+        rng = np.random.default_rng(1)
+        assignment = _assign_domains(plan, rng)
+        assert len(assignment) == 7  # drift absorbed by larger share
+
+    def test_sample_kind_distribution(self):
+        rng = np.random.default_rng(2)
+        kinds = {_sample_kind(rng) for _ in range(300)}
+        # All major kinds appear across 300 draws.
+        assert {"AND2", "XOR2", "NAND2", "MUX2"} <= kinds
+
+
+class TestClockHelpers:
+    def test_domain_spec_period(self):
+        spec = ClockDomainSpec("clkx", 40.0, ("B1",))
+        assert spec.period_ns == pytest.approx(25.0)
+        bad = ClockDomainSpec("clky", 0.0, ())
+        with pytest.raises(ConfigError):
+            _ = bad.period_ns
+
+    def test_tree_leaf_size_respected(self):
+        rng = np.random.default_rng(3)
+        positions = {
+            i: (float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            for i in range(40)
+        }
+        tree = build_clock_tree("clkx", positions, (50.0, 100.0),
+                                leaf_size=5)
+        per_leaf = {}
+        for fi, leaf in tree.leaf_of_flop.items():
+            per_leaf.setdefault(leaf, []).append(fi)
+        assert all(len(g) <= 5 for g in per_leaf.values())
+
+    def test_tree_invalid_leaf_size(self):
+        with pytest.raises(ConfigError):
+            build_clock_tree("clkx", {0: (0.0, 0.0)}, (0.0, 0.0),
+                             leaf_size=0)
+
+    def test_buffer_loads_positive(self):
+        positions = {i: (float(i), 0.0) for i in range(9)}
+        tree = build_clock_tree("clkx", positions, (0.0, 0.0),
+                                leaf_size=3)
+        assert all(b.load_ff > 0 for b in tree.buffers)
+
+
+class TestVerilogDetails:
+    def test_escaped_net_names(self):
+        nl = Netlist("esc")
+        a = nl.add_net("a[0]")  # needs escaping
+        y = nl.add_net("y.out")
+        nl.add_primary_input(a)
+        nl.add_gate("g", "INVX1", [a], y)
+        nl.add_primary_output(y)
+        buf = io.StringIO()
+        write_verilog(nl, buf)
+        text = buf.getvalue()
+        assert "\\a[0] " in text
+        buf.seek(0)
+        back = parse_verilog(buf)
+        assert back.has_net("a[0]")
+        assert back.has_net("y.out")
+
+    def test_multi_domain_ports(self):
+        nl = Netlist("md")
+        q1 = nl.add_net("q1")
+        q2 = nl.add_net("q2")
+        d = nl.add_net("d")
+        nl.add_gate("g", "AND2X1", [q1, q2], d)
+        nl.add_flop("f1", "SDFFX1", d=d, q=q1, clock_domain="alpha")
+        nl.add_flop("f2", "SDFFX1", d=d, q=q2, clock_domain="beta")
+        buf = io.StringIO()
+        write_verilog(nl, buf)
+        text = buf.getvalue()
+        assert "clk_alpha" in text and "clk_beta" in text
+        buf.seek(0)
+        back = parse_verilog(buf)
+        domains = {f.clock_domain for f in back.flops}
+        assert domains == {"alpha", "beta"}
+
+
+class TestMisrWidths:
+    @pytest.mark.parametrize("width", [16, 24, 32])
+    def test_all_widths_work(self, width):
+        m = Misr(width, seed=3)
+        m.absorb_response([1, 0, 1, 1, 0] * 10)
+        assert 0 < m.signature < (1 << width)
+
+    def test_different_widths_differ(self):
+        # A long stream packs into different word boundaries per width,
+        # so the signatures diverge.
+        stream = [(i * 5 + 1) % 2 for i in range(96)]
+        sigs = set()
+        for width in (16, 24, 32):
+            m = Misr(width, seed=3)
+            m.absorb_response(stream)
+            sigs.add(m.signature)
+        assert len(sigs) == 3
+
+
+class TestCompressionWidths:
+    @pytest.mark.parametrize("width", [24, 32, 48, 64])
+    def test_all_lfsr_widths(self, width):
+        design = build_turbo_eagle("tiny", seed=131)
+        comp = EdtCompressor(design.scan, n_seed_bits=width)
+        cube = {0: 1, 5: 0, 9: 1}
+        seed = comp.compress_cube(cube)
+        assert seed is not None
+        v1 = comp.expand(seed)
+        for fi, bit in cube.items():
+            assert v1[fi] == bit
+
+
+class TestFloorplanGeometry:
+    def test_pads_evenly_spread(self):
+        fp = make_turbo_eagle_floorplan(800.0)
+        from repro.soc.floorplan import periphery_pad_positions
+
+        pads = periphery_pad_positions(fp, 37)
+        # Consecutive pads are roughly one perimeter/37 apart.
+        per = 2 * (fp.width + fp.height) / 37
+
+        def arc(p):
+            x, y = p
+            if y == 0.0:
+                return x
+            if x == fp.width:
+                return fp.width + y
+            if y == fp.height:
+                return fp.width + fp.height + (fp.width - x)
+            return 2 * fp.width + fp.height + (fp.height - y)
+
+        arcs = sorted(arc(p) for p in pads)
+        gaps = [b - a for a, b in zip(arcs, arcs[1:])]
+        assert max(gaps) < 1.5 * per
+
+    def test_block_at_boundary_points(self):
+        fp = make_turbo_eagle_floorplan(1000.0)
+        # Left edge of B5 region belongs to B5 (half-open rectangles).
+        region = fp.region("B5")
+        assert fp.block_at(region.x0, region.y0) == "B5"
+        assert fp.block_at(region.x1, region.y1) != "B5"

@@ -1,0 +1,120 @@
+"""Unit tests for repro.netlist.cells — bit-parallel logic functions."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.cells import (
+    CELL_ARITY,
+    CELL_FUNCTIONS,
+    controlling_value,
+    evaluate_kind,
+    output_inversion,
+)
+
+# Reference single-bit semantics for every kind.
+_REFERENCE = {
+    "INV": lambda v: 1 - v[0],
+    "BUF": lambda v: v[0],
+    "CLKBUF": lambda v: v[0],
+    "AND2": lambda v: v[0] & v[1],
+    "AND3": lambda v: v[0] & v[1] & v[2],
+    "AND4": lambda v: v[0] & v[1] & v[2] & v[3],
+    "NAND2": lambda v: 1 - (v[0] & v[1]),
+    "NAND3": lambda v: 1 - (v[0] & v[1] & v[2]),
+    "NAND4": lambda v: 1 - (v[0] & v[1] & v[2] & v[3]),
+    "OR2": lambda v: v[0] | v[1],
+    "OR3": lambda v: v[0] | v[1] | v[2],
+    "OR4": lambda v: v[0] | v[1] | v[2] | v[3],
+    "NOR2": lambda v: 1 - (v[0] | v[1]),
+    "NOR3": lambda v: 1 - (v[0] | v[1] | v[2]),
+    "NOR4": lambda v: 1 - (v[0] | v[1] | v[2] | v[3]),
+    "XOR2": lambda v: v[0] ^ v[1],
+    "XNOR2": lambda v: 1 - (v[0] ^ v[1]),
+    "MUX2": lambda v: v[1] if v[2] else v[0],
+    "AOI21": lambda v: 1 - ((v[0] & v[1]) | v[2]),
+    "OAI21": lambda v: 1 - ((v[0] | v[1]) & v[2]),
+    "TIE0": lambda v: 0,
+    "TIE1": lambda v: 1,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(CELL_FUNCTIONS))
+def test_truth_table_matches_reference(kind):
+    """Exhaustive single-bit truth table check for every kind."""
+    arity = CELL_ARITY[kind]
+    for bits in itertools.product((0, 1), repeat=arity):
+        got = evaluate_kind(kind, list(bits), mask=1)
+        assert got == _REFERENCE[kind](bits), (kind, bits)
+
+
+@pytest.mark.parametrize("kind", sorted(CELL_FUNCTIONS))
+def test_bit_parallel_matches_bitwise(kind):
+    """Packed evaluation equals per-bit evaluation on a 7-pattern batch."""
+    arity = CELL_ARITY[kind]
+    n = 7
+    mask = (1 << n) - 1
+    words = [0b1011001, 0b0111010, 0b1100110, 0b0101011][:arity]
+    packed = evaluate_kind(kind, words, mask)
+    for bit in range(n):
+        single = [(w >> bit) & 1 for w in words]
+        assert (packed >> bit) & 1 == _REFERENCE[kind](single)
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(NetlistError):
+        evaluate_kind("NAND9", [1, 2], 3)
+
+
+def test_wrong_arity_raises():
+    with pytest.raises(NetlistError):
+        evaluate_kind("NAND2", [1], 1)
+
+
+def test_controlling_values():
+    assert controlling_value("AND3") == 0
+    assert controlling_value("NAND2") == 0
+    assert controlling_value("OR4") == 1
+    assert controlling_value("NOR2") == 1
+    assert controlling_value("XOR2") is None
+    assert controlling_value("MUX2") is None
+
+
+def test_output_inversion_flags():
+    assert output_inversion("NAND2")
+    assert output_inversion("NOR3")
+    assert output_inversion("INV")
+    assert not output_inversion("AND2")
+    assert not output_inversion("BUF")
+
+
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 64) - 1),
+)
+def test_demorgan_packed(a, b):
+    """Property: NAND(a,b) == OR(INV a, INV b) at any packed width."""
+    mask = (1 << 64) - 1
+    nand = evaluate_kind("NAND2", [a, b], mask)
+    de_morgan = evaluate_kind(
+        "OR2",
+        [evaluate_kind("INV", [a], mask), evaluate_kind("INV", [b], mask)],
+        mask,
+    )
+    assert nand == de_morgan
+
+
+@given(
+    d0=st.integers(min_value=0, max_value=255),
+    d1=st.integers(min_value=0, max_value=255),
+)
+def test_mux_extremes(d0, d1):
+    """Property: MUX with sel all-0 yields d0, all-1 yields d1."""
+    mask = 255
+    assert evaluate_kind("MUX2", [d0, d1, 0], mask) == d0
+    assert evaluate_kind("MUX2", [d0, d1, mask], mask) == d1

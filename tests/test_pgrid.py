@@ -1,0 +1,193 @@
+"""Tests for the power-grid model and IR-drop analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PowerGridError
+from repro.pgrid import (
+    GridModel,
+    PowerGrid,
+    dynamic_ir_for_pattern,
+    red_fraction,
+    render_ir_map,
+    statistical_ir_analysis,
+)
+from repro.pgrid.maps import ir_map_csv
+from repro.pgrid.statistical_ir import block_power_thresholds_mw
+from repro.power import ScapCalculator
+from repro.soc import build_turbo_eagle
+from repro.soc.floorplan import make_turbo_eagle_floorplan
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=31)
+
+
+@pytest.fixture(scope="module")
+def model(design):
+    return GridModel.build(design, nx=12, ny=12, seg_res_ohm=100.0)
+
+
+class TestPowerGrid:
+    def test_zero_injection_zero_drop(self):
+        fp = make_turbo_eagle_floorplan(300.0)
+        grid = PowerGrid(fp, nx=8, ny=8)
+        drop = grid.drop_v(np.zeros(64))
+        assert np.allclose(drop, 0.0)
+
+    def test_drop_positive_and_linear(self):
+        fp = make_turbo_eagle_floorplan(300.0)
+        grid = PowerGrid(fp, nx=8, ny=8, seg_res_ohm=10.0)
+        inj = np.zeros(64)
+        center = grid.nearest_node(150.0, 150.0)
+        inj[center] = 1e-3  # 1 mA at die centre
+        drop = grid.drop_v(inj)
+        assert drop[center] > 0
+        assert drop[center] == drop.max()
+        # Superposition/linearity of the resistive network.
+        drop2 = grid.drop_v(2 * inj)
+        assert np.allclose(drop2, 2 * drop)
+
+    def test_center_drops_more_than_edge(self):
+        fp = make_turbo_eagle_floorplan(300.0)
+        grid = PowerGrid(fp, nx=8, ny=8, seg_res_ohm=10.0)
+        inj = np.zeros(64)
+        center = grid.nearest_node(150.0, 150.0)
+        edge = grid.nearest_node(5.0, 150.0)
+        inj[center] = 1e-3
+        inj[edge] = 1e-3
+        drop = grid.drop_v(inj)
+        assert drop[center] > drop[edge]
+
+    def test_invalid_parameters(self):
+        fp = make_turbo_eagle_floorplan(300.0)
+        with pytest.raises(PowerGridError):
+            PowerGrid(fp, nx=1, ny=8)
+        with pytest.raises(PowerGridError):
+            PowerGrid(fp, seg_res_ohm=-1.0)
+        grid = PowerGrid(fp, nx=4, ny=4)
+        with pytest.raises(PowerGridError):
+            grid.drop_v(np.zeros(3))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ix=st.integers(min_value=0, max_value=7),
+        iy=st.integers(min_value=0, max_value=7),
+    )
+    def test_node_position_roundtrip(self, ix, iy):
+        fp = make_turbo_eagle_floorplan(300.0)
+        grid = PowerGrid(fp, nx=8, ny=8)
+        node = grid.node_index(ix, iy)
+        x, y = grid.node_position(node)
+        assert grid.nearest_node(x, y) == node
+
+
+class TestGridModel:
+    def test_every_instance_tapped(self, design, model):
+        assert (model.gate_node >= 0).all()
+        assert (model.flop_node >= 0).all()
+
+    def test_vss_more_resistive_than_vdd(self, model):
+        assert model.vss_grid.seg_res_ohm > model.vdd_grid.seg_res_ohm
+
+    def test_block_nodes_inside_region(self, design, model):
+        fp = design.floorplan
+        for block, nodes in model.block_nodes.items():
+            region = fp.region(block)
+            for node in nodes:
+                assert region.contains(*model.vdd_grid.node_position(node))
+
+    def test_calibration_hits_target(self, design):
+        calibrated = GridModel.calibrated(design, target_worst_drop_v=0.12,
+                                          nx=12, ny=12)
+        rows = statistical_ir_analysis(calibrated, window_fraction=0.5)
+        worst = max(r.worst_drop_vdd_v for r in rows)
+        assert worst == pytest.approx(0.12, rel=0.05)
+
+
+class TestStatisticalIr:
+    def test_b5_worst_block(self, model):
+        rows = statistical_ir_analysis(model, window_fraction=0.5)
+        worst = max(rows, key=lambda r: r.worst_drop_vdd_v)
+        assert worst.block == "B5"
+
+    def test_vss_tracks_vdd_slightly_higher(self, model):
+        rows = statistical_ir_analysis(model, window_fraction=0.5)
+        for row in rows:
+            assert row.worst_drop_vss_v > row.worst_drop_vdd_v
+
+    def test_halving_window_increases_drop(self, model):
+        c1 = statistical_ir_analysis(model, window_fraction=1.0)
+        c2 = statistical_ir_analysis(model, window_fraction=0.5)
+        for r1, r2 in zip(c1, c2):
+            assert r2.worst_drop_vdd_v > r1.worst_drop_vdd_v
+            assert r2.avg_power_mw > 1.5 * r1.avg_power_mw
+
+    def test_chip_row(self, model):
+        rows = statistical_ir_analysis(model, include_chip_row=True)
+        assert rows[-1].block == "Chip"
+        assert rows[-1].worst_drop_vdd_v == pytest.approx(
+            max(r.worst_drop_vdd_v for r in rows[:-1])
+        )
+
+    def test_thresholds_exclude_chip(self, model):
+        rows = statistical_ir_analysis(model, include_chip_row=True)
+        thresholds = block_power_thresholds_mw(rows)
+        assert "Chip" not in thresholds
+        assert set(thresholds) == {"B1", "B2", "B3", "B4", "B5", "B6"}
+
+
+class TestDynamicIr:
+    def test_active_pattern_drops(self, design, model):
+        calc = ScapCalculator(design, "clka")
+        rng = np.random.default_rng(2)
+        v1 = {fi: int(rng.integers(2)) for fi in range(design.netlist.n_flops)}
+        timing = calc.simulate_pattern(v1)
+        ir = dynamic_ir_for_pattern(model, timing)
+        assert ir.worst_vdd_v > 0
+        assert ir.worst_vss_v > ir.worst_vdd_v
+        assert len(ir.gate_droop_v) == design.netlist.n_gates
+
+    def test_scap_window_worse_than_cap_window(self, design, model):
+        calc = ScapCalculator(design, "clka")
+        rng = np.random.default_rng(2)
+        v1 = {fi: int(rng.integers(2)) for fi in range(design.netlist.n_flops)}
+        timing = calc.simulate_pattern(v1)
+        ir_scap = dynamic_ir_for_pattern(model, timing)
+        ir_cap = dynamic_ir_for_pattern(model, timing, window_ns=20.0)
+        assert ir_scap.worst_vdd_v > ir_cap.worst_vdd_v
+
+    def test_quiet_pattern_nearly_zero(self, design, model):
+        """All-zeros scan state: only the few ungated bus-register nets
+        may toggle, so the drop is a tiny fraction of an active one."""
+        calc = ScapCalculator(design, "clka")
+        quiet = {fi: 0 for fi in range(design.netlist.n_flops)}
+        rng = np.random.default_rng(2)
+        noisy = {fi: int(rng.integers(2)) for fi in range(design.netlist.n_flops)}
+        tq = calc.simulate_pattern(quiet)
+        tn = calc.simulate_pattern(noisy)
+        # Switched energy (injected charge) is the physical quantity:
+        # the quiet pattern moves a tiny fraction of the noisy one's.
+        assert tq.energy_fj_total < 0.1 * tn.energy_fj_total
+        ir_q = dynamic_ir_for_pattern(model, tq)
+        assert ir_q.red_fraction() == 0.0
+
+
+class TestMaps:
+    def test_render_and_red_fraction(self, design, model):
+        drop = np.zeros(model.vdd_grid.n_nodes)
+        drop[model.vdd_grid.nearest_node(150.0, 150.0)] = 0.5
+        art = render_ir_map(model.vdd_grid, drop)
+        assert "#" in art
+        assert red_fraction(drop) == pytest.approx(1 / model.vdd_grid.n_nodes)
+
+    def test_csv_export(self, model):
+        drop = np.zeros(model.vdd_grid.n_nodes)
+        csv = ir_map_csv(model.vdd_grid, drop)
+        assert csv.splitlines()[0] == "x_um,y_um,drop_v"
+        assert len(csv.splitlines()) == model.vdd_grid.n_nodes + 1

@@ -1,0 +1,178 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Invariants that tie layers together: trail-undo correctness of the
+implication engine, fill completeness, energy bookkeeping of the timing
+engines, and grid-solver physics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atpg.faults import STR, TransitionFault, build_fault_universe
+from repro.atpg.fill import apply_fill
+from repro.atpg.twoframe import TwoFrameState
+from repro.power import ScapCalculator
+from repro.sim import DelayModel, EventTimingSim, LogicSim
+from repro.soc import build_turbo_eagle
+from repro.soc.floorplan import make_turbo_eagle_floorplan
+from repro.pgrid.grid import PowerGrid
+
+_DESIGN = build_turbo_eagle("tiny", seed=77)
+_N_FLOPS = _DESIGN.netlist.n_flops
+
+
+class TestTrailUndo:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=_N_FLOPS - 1),
+                st.integers(min_value=0, max_value=1),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_assign_then_undo_is_identity(self, data):
+        """Any assignment sequence fully undone restores the post-fault
+        baseline state byte for byte."""
+        state = TwoFrameState(_DESIGN.netlist, "clka")
+        fault = build_fault_universe(_DESIGN.netlist)[3]
+        state.set_fault(fault)
+        f1_before = list(state.f1)
+        g2_before = list(state.g2)
+        f2_before = list(state.f2)
+        d_before = set(state.d_nets)
+        mark = state.mark()
+        assigned = set()
+        for flop, bit in data:
+            if flop in assigned:
+                continue
+            state.assign(flop, bit)
+            assigned.add(flop)
+        state.undo_to(mark)
+        assert state.f1 == f1_before
+        assert state.g2 == g2_before
+        assert state.f2 == f2_before
+        assert state.d_nets == d_before
+        assert state.v1 == {}
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        flop=st.integers(min_value=0, max_value=_N_FLOPS - 1),
+        bit=st.integers(min_value=0, max_value=1),
+    )
+    def test_implication_matches_fresh_state(self, flop, bit):
+        """Incremental implication == assigning on a fresh state."""
+        fault = build_fault_universe(_DESIGN.netlist)[10]
+        s1 = TwoFrameState(_DESIGN.netlist, "clka")
+        s1.set_fault(fault)
+        mark = s1.mark()
+        # dirty it up then roll back
+        s1.assign((flop + 1) % _N_FLOPS, 1 - bit)
+        s1.undo_to(mark)
+        s1.assign(flop, bit)
+
+        s2 = TwoFrameState(_DESIGN.netlist, "clka")
+        s2.set_fault(fault)
+        s2.assign(flop, bit)
+        assert s1.f1 == s2.f1
+        assert s1.g2 == s2.g2
+        assert s1.f2 == s2.f2
+
+
+class TestFillProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cube_bits=st.dictionaries(
+            st.integers(min_value=0, max_value=_N_FLOPS - 1),
+            st.integers(min_value=0, max_value=1),
+            max_size=12,
+        ),
+        policy=st.sampled_from(["0", "1", "adjacent"]),
+    )
+    def test_fill_is_complete_and_respects_care_bits(self, cube_bits, policy):
+        v1 = apply_fill(cube_bits, _N_FLOPS, policy, scan=_DESIGN.scan)
+        assert v1.shape == (_N_FLOPS,)
+        assert set(np.unique(v1)).issubset({0, 1})
+        for flop, bit in cube_bits.items():
+            assert v1[flop] == bit
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        cube_bits=st.dictionaries(
+            st.integers(min_value=0, max_value=_N_FLOPS - 1),
+            st.integers(min_value=0, max_value=1),
+            max_size=12,
+        )
+    )
+    def test_deterministic_fills_are_deterministic(self, cube_bits):
+        for policy in ("0", "1", "adjacent"):
+            a = apply_fill(cube_bits, _N_FLOPS, policy, scan=_DESIGN.scan)
+            b = apply_fill(cube_bits, _N_FLOPS, policy, scan=_DESIGN.scan)
+            assert (a == b).all()
+
+
+class TestEnergyBookkeeping:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_event_energy_equals_toggle_weighted_caps(self, seed):
+        """Total energy == sum over nets of toggles * C * VDD^2, and the
+        per-block split sums to at most the total (glue excluded)."""
+        calc = ScapCalculator(_DESIGN, "clka")
+        rng = np.random.default_rng(seed)
+        v1 = {fi: int(rng.integers(2)) for fi in range(_N_FLOPS)}
+        result = calc.simulate_pattern(v1)
+        caps = _DESIGN.parasitics.net_cap_ff
+        expected = float((result.toggles * caps).sum()) * 1.8 * 1.8
+        assert result.energy_fj_total == pytest.approx(expected)
+        assert sum(result.energy_fj_by_block.values()) <= (
+            result.energy_fj_total + 1e-6
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_last_arrival_bounded_by_stw(self, seed):
+        calc = ScapCalculator(_DESIGN, "clka")
+        rng = np.random.default_rng(seed)
+        v1 = {fi: int(rng.integers(2)) for fi in range(_N_FLOPS)}
+        result = calc.simulate_pattern(v1)
+        finite = result.last_arrival_ns[~np.isnan(result.last_arrival_ns)]
+        if finite.size:
+            assert finite.max() == pytest.approx(result.stw_ns)
+            assert (finite >= 0).all()
+
+
+class TestGridPhysics:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=63),
+        b=st.integers(min_value=0, max_value=63),
+        ia=st.floats(min_value=1e-5, max_value=1e-2),
+        ib=st.floats(min_value=1e-5, max_value=1e-2),
+    )
+    def test_superposition(self, a, b, ia, ib):
+        fp = make_turbo_eagle_floorplan(300.0)
+        grid = PowerGrid(fp, nx=8, ny=8, seg_res_ohm=10.0)
+        inj_a = np.zeros(64)
+        inj_a[a] = ia
+        inj_b = np.zeros(64)
+        inj_b[b] = ib
+        combined = grid.drop_v(inj_a + inj_b)
+        parts = grid.drop_v(inj_a) + grid.drop_v(inj_b)
+        assert np.allclose(combined, parts, atol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(node=st.integers(min_value=0, max_value=63))
+    def test_all_drops_nonnegative(self, node):
+        fp = make_turbo_eagle_floorplan(300.0)
+        grid = PowerGrid(fp, nx=8, ny=8, seg_res_ohm=10.0)
+        inj = np.zeros(64)
+        inj[node] = 1e-3
+        drop = grid.drop_v(inj)
+        assert (drop >= -1e-12).all()
+        assert drop[node] == pytest.approx(drop.max())

@@ -1,0 +1,49 @@
+"""Tests for the reporting helpers."""
+
+from __future__ import annotations
+
+from repro.reporting import curve_to_csv, format_table, series_to_csv
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        rows = [
+            {"block": "B1", "power": 1.23456},
+            {"block": "B5", "power": 10.5},
+        ]
+        out = format_table(rows)
+        lines = out.splitlines()
+        assert lines[0].startswith("block")
+        assert "1.235" in out  # default float format
+        assert "10.500" in out
+        # All rows same width.
+        assert len({len(line) for line in lines}) <= 2
+
+    def test_column_selection_and_title(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"], title="T")
+        assert out.splitlines()[0] == "T"
+        header = out.splitlines()[1]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_empty(self):
+        assert "(no rows)" in format_table([])
+        assert format_table([], title="X").startswith("X")
+
+    def test_missing_keys_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        out = format_table(rows, columns=["a", "b"])
+        assert "3" in out
+
+
+class TestSeriesCsv:
+    def test_series(self):
+        csv = series_to_csv([1.5, 2.5])
+        assert csv.splitlines() == ["index,value", "0,1.5", "1,2.5"]
+
+    def test_curve(self):
+        csv = curve_to_csv([(0, 0.5), (3, 0.75)])
+        assert csv.splitlines() == [
+            "pattern,coverage", "0,0.5", "3,0.75",
+        ]

@@ -1,0 +1,71 @@
+"""Tests for the case-study artifact exporter and its CLI command."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import CaseStudy
+from repro.__main__ import main
+from repro.reporting import export_case_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return CaseStudy(scale="tiny", seed=2007, backtrack_limit=60)
+
+
+class TestExport:
+    def test_all_artifacts_written(self, study, tmp_path):
+        written = export_case_study(study, str(tmp_path))
+        names = {os.path.basename(p) for p in written}
+        expected = {
+            "table1_design.txt",
+            "table2_domains.txt",
+            "table3_case1_full_cycle.csv",
+            "table3_case2_half_cycle.csv",
+            "table4_cap_vs_scap.txt",
+            "fig1_floorplan.txt",
+            "fig2_scap_conventional_b5.csv",
+            "fig6_scap_staged_b5.csv",
+            "fig6_meta.txt",
+            "fig3_P1_vdd_map.csv",
+            "fig3_P1_vdd_map.txt",
+            "fig3_P2_vdd_map.csv",
+            "fig3_P2_vdd_map.txt",
+            "fig4_coverage_conventional.csv",
+            "fig4_coverage_staged.csv",
+            "fig7_endpoint_delays.csv",
+            "headline.txt",
+        }
+        assert expected.issubset(names)
+        for path in written:
+            assert os.path.getsize(path) > 0
+
+    def test_csv_contents_parse(self, study, tmp_path):
+        export_case_study(study, str(tmp_path))
+        fig2 = (tmp_path / "fig2_scap_conventional_b5.csv").read_text()
+        header, *rows = fig2.strip().splitlines()
+        assert header == "pattern,scap_mw"
+        assert len(rows) == study.conventional().n_patterns
+        for row in rows[:5]:
+            idx, val = row.split(",")
+            int(idx)
+            float(val)
+
+    def test_export_idempotent(self, study, tmp_path):
+        first = export_case_study(study, str(tmp_path))
+        second = export_case_study(study, str(tmp_path))
+        assert sorted(first) == sorted(second)
+
+
+class TestExportCli:
+    def test_cli_export(self, tmp_path, capsys):
+        out = tmp_path / "arts"
+        assert main([
+            "export", "--scale", "tiny", "--out", str(out),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "wrote" in printed
+        assert (out / "headline.txt").exists()

@@ -1,0 +1,180 @@
+"""Tests for shift simulation, power waveforms and set compaction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg import (
+    AtpgEngine,
+    FaultSimulator,
+    build_fault_universe,
+    collapse_faults,
+    coverage_of_set,
+    reverse_order_compaction,
+)
+from repro.dft import shift_activity_summary, simulate_shift_in
+from repro.errors import ScanError, SimulationError
+from repro.power import ScapCalculator, power_waveform, render_waveform_ascii
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=21)
+
+
+@pytest.fixture(scope="module")
+def patterns(design):
+    engine = AtpgEngine(design.netlist, "clka", scan=design.scan, seed=2)
+    return engine.run(fill="random").pattern_set
+
+
+class TestShift:
+    def test_shift_lands_pattern(self, design):
+        rng = np.random.default_rng(0)
+        v1 = rng.integers(0, 2, size=design.netlist.n_flops,
+                          dtype=np.uint8)
+        activity = simulate_shift_in(v1, design.scan)
+        # The model self-checks landing; here we check the statistics.
+        assert activity.n_cycles == max(
+            c.length for c in design.scan.chains
+        )
+        assert activity.total_transitions >= 0
+        assert activity.transitions_per_cycle.shape == (activity.n_cycles,)
+
+    def test_all_zero_shift_is_silent_from_reset(self, design):
+        v1 = np.zeros(design.netlist.n_flops, dtype=np.uint8)
+        activity = simulate_shift_in(v1, design.scan)
+        assert activity.total_transitions == 0
+
+    def test_alternating_pattern_is_noisiest(self, design):
+        n = design.netlist.n_flops
+        checker = np.zeros(n, dtype=np.uint8)
+        for chain in design.scan.chains:
+            for pos, fi in enumerate(chain.flops):
+                checker[fi] = pos % 2
+        solid = np.ones(n, dtype=np.uint8)
+        act_checker = simulate_shift_in(checker, design.scan)
+        act_solid = simulate_shift_in(solid, design.scan)
+        assert act_checker.total_transitions > act_solid.total_transitions
+
+    def test_bad_initial_state(self, design):
+        v1 = np.zeros(design.netlist.n_flops, dtype=np.uint8)
+        with pytest.raises(ScanError):
+            simulate_shift_in(v1, design.scan, initial_state=np.zeros(3))
+
+    def test_adjacent_fill_reduces_shift_activity(self, design):
+        """The documented purpose of fill-adjacent."""
+        summaries = {}
+        for fill in ("random", "adjacent"):
+            engine = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                                seed=2)
+            res = engine.run(fill=fill, max_patterns=20)
+            summaries[fill] = shift_activity_summary(
+                res.pattern_set, design.scan
+            )
+        assert (
+            summaries["adjacent"]["mean_total"]
+            < summaries["random"]["mean_total"]
+        )
+
+
+class TestPowerWaveform:
+    @pytest.fixture(scope="class")
+    def traced(self, design):
+        calc = ScapCalculator(design, "clka")
+        rng = np.random.default_rng(5)
+        v1 = {fi: int(rng.integers(2))
+              for fi in range(design.netlist.n_flops)}
+        return design, calc.simulate_pattern(v1, record_trace=True)
+
+    def test_needs_trace(self, design):
+        calc = ScapCalculator(design, "clka")
+        result = calc.simulate_pattern(
+            {fi: 0 for fi in range(design.netlist.n_flops)}
+        )
+        with pytest.raises(SimulationError):
+            power_waveform(design.netlist, design.parasitics, result)
+
+    def test_energy_conserved(self, traced):
+        design, result = traced
+        wf = power_waveform(design.netlist, design.parasitics, result,
+                            n_bins=32)
+        # Integrating the waveform returns the total switched energy.
+        total_fj = (wf.power_mw * 1e3 * wf.bin_width_ns).sum()
+        assert total_fj == pytest.approx(result.energy_fj_total, rel=1e-9)
+
+    def test_peak_exceeds_average(self, traced):
+        design, result = traced
+        wf = power_waveform(design.netlist, design.parasitics, result)
+        assert wf.peak_power_mw >= wf.average_power_mw
+        assert 0 <= wf.peak_time_ns <= wf.bin_edges_ns[-1]
+
+    def test_peak_in_early_window(self, traced):
+        """Switching concentrates early in the cycle (the STW story)."""
+        design, result = traced
+        wf = power_waveform(design.netlist, design.parasitics, result,
+                            n_bins=20)
+        assert wf.peak_time_ns < result.capture_time_ns / 2.0
+
+    def test_block_split_bounded_by_total(self, traced):
+        design, result = traced
+        wf = power_waveform(design.netlist, design.parasitics, result)
+        stacked = sum(wf.power_mw_by_block.values())
+        assert (stacked <= wf.power_mw + 1e-9).all()
+
+    def test_csv_and_ascii(self, traced):
+        design, result = traced
+        wf = power_waveform(design.netlist, design.parasitics, result,
+                            n_bins=10)
+        assert wf.to_csv().startswith("t_ns,power_mw")
+        art = render_waveform_ascii(wf, title="wave")
+        assert "#" in art
+
+
+class TestCompaction:
+    def test_compaction_preserves_coverage(self, design, patterns):
+        fsim = FaultSimulator(design.netlist, "clka")
+        reps, _ = collapse_faults(
+            design.netlist, build_fault_universe(design.netlist)
+        )
+        before = coverage_of_set(fsim, patterns, reps)
+        compacted, stats = reverse_order_compaction(fsim, patterns, reps)
+        after = coverage_of_set(fsim, compacted, reps)
+        assert after == before
+        assert stats["kept"] == len(compacted)
+        assert stats["kept"] + stats["dropped"] == len(patterns)
+        assert len(compacted) <= len(patterns)
+
+    def test_compaction_reindexes(self, design, patterns):
+        fsim = FaultSimulator(design.netlist, "clka")
+        reps, _ = collapse_faults(
+            design.netlist, build_fault_universe(design.netlist)
+        )
+        compacted, _stats = reverse_order_compaction(fsim, patterns, reps)
+        assert [p.index for p in compacted] == list(range(len(compacted)))
+
+    def test_empty_set(self, design):
+        from repro.atpg.patterns import PatternSet
+
+        fsim = FaultSimulator(design.netlist, "clka")
+        compacted, stats = reverse_order_compaction(
+            fsim, PatternSet("clka"), []
+        )
+        assert len(compacted) == 0
+        assert stats["dropped"] == 0
+
+    def test_redundant_duplicates_dropped(self, design, patterns):
+        """Appending a copy of the whole set drops at least that many."""
+        from repro.atpg.patterns import Pattern, PatternSet
+
+        fsim = FaultSimulator(design.netlist, "clka")
+        reps, _ = collapse_faults(
+            design.netlist, build_fault_universe(design.netlist)
+        )
+        doubled = PatternSet(patterns.domain, fill=patterns.fill)
+        for i, p in enumerate(list(patterns) + list(patterns)):
+            doubled.append(Pattern(i, p.v1, p.care, p.domain, p.fill))
+        compacted, stats = reverse_order_compaction(fsim, doubled, reps)
+        assert stats["dropped"] >= len(patterns)

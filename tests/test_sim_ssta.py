@@ -1,0 +1,76 @@
+"""Tests for the SSTA-lite statistical timing analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    DelayModel,
+    StaticTimingAnalyzer,
+    analyze_statistical,
+)
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def sta():
+    design = build_turbo_eagle("tiny", seed=163)
+    dm = DelayModel(design.netlist, design.parasitics)
+    analyzer = StaticTimingAnalyzer(
+        design.netlist, dm, design.clock_trees["clka"],
+        period_ns=20.0, domain="clka",
+    )
+    analyzer.analyze()
+    return analyzer
+
+
+class TestSsta:
+    def test_zero_sigma_matches_deterministic(self, sta):
+        det = sta.analyze()
+        ssta = analyze_statistical(sta, sigma_fraction=0.0)
+        det_by_flop = {e.flop: e for e in det.endpoints}
+        for e in ssta.endpoints:
+            assert e.std_arrival_ns == 0.0
+            assert e.mean_arrival_ns == pytest.approx(
+                det_by_flop[e.flop].arrival_ns
+            )
+            assert e.timing_yield() == 1.0  # timing-closed design
+
+    def test_std_scales_with_sigma(self, sta):
+        lo = analyze_statistical(sta, sigma_fraction=0.02)
+        hi = analyze_statistical(sta, sigma_fraction=0.08)
+        lo_by = {e.flop: e for e in lo.endpoints}
+        for e in hi.endpoints:
+            assert e.std_arrival_ns == pytest.approx(
+                4.0 * lo_by[e.flop].std_arrival_ns, rel=1e-6
+            )
+
+    def test_yield_decreases_with_sigma(self, sta):
+        yields = [
+            analyze_statistical(sta, s).chip_timing_yield()
+            for s in (0.0, 0.1, 0.4)
+        ]
+        assert yields[0] >= yields[1] >= yields[2]
+        assert all(0.0 <= y <= 1.0 for y in yields)
+
+    def test_worst_endpoint_has_min_yield(self, sta):
+        report = analyze_statistical(sta, sigma_fraction=0.2)
+        worst = report.worst_yield_endpoint()
+        assert worst is not None
+        assert all(
+            worst.timing_yield() <= e.timing_yield() + 1e-12
+            for e in report.endpoints
+        )
+
+    def test_negative_sigma_rejected(self, sta):
+        with pytest.raises(SimulationError):
+            analyze_statistical(sta, sigma_fraction=-0.1)
+
+    def test_mean_slack_sign_convention(self, sta):
+        report = analyze_statistical(sta, sigma_fraction=0.05)
+        for e in report.endpoints:
+            assert e.mean_slack_ns == pytest.approx(
+                e.required_ns - e.mean_arrival_ns
+            )

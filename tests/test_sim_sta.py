@@ -1,0 +1,113 @@
+"""Tests for the static timing analyzer and IR derating."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ElectricalEnv
+from repro.errors import SimulationError
+from repro.pgrid import GridModel, dynamic_ir_for_pattern
+from repro.power import ScapCalculator
+from repro.sim import DelayModel, StaticTimingAnalyzer, derates_from_ir
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def env():
+    design = build_turbo_eagle("tiny", seed=55)
+    dm = DelayModel(design.netlist, design.parasitics)
+    sta = StaticTimingAnalyzer(
+        design.netlist, dm, design.clock_trees["clka"],
+        period_ns=20.0, domain="clka",
+    )
+    return design, dm, sta
+
+
+class TestSta:
+    def test_all_endpoints_have_positive_slack_at_nominal(self, env):
+        design, dm, sta = env
+        report = sta.analyze()
+        assert report.endpoints, "no endpoints analysed"
+        # The generated design is timing-closed at 20 ns.
+        assert report.worst_slack_ns > 0
+
+    def test_arrival_bounds(self, env):
+        design, dm, sta = env
+        report = sta.analyze()
+        crit = dm.critical_path_estimate_ns()
+        for e in report.endpoints:
+            assert 0 < e.arrival_ns <= crit + 5.0
+            assert e.required_ns > 0
+
+    def test_worst_endpoints_sorted(self, env):
+        _d, _dm, sta = env
+        report = sta.analyze()
+        worst = report.worst_endpoints(4)
+        slacks = [e.slack_ns for e in worst]
+        assert slacks == sorted(slacks)
+        assert slacks[0] == pytest.approx(report.worst_slack_ns)
+
+    def test_uniform_derate_shifts_slack(self, env):
+        design, dm, sta = env
+        nominal = sta.analyze()
+        derated = sta.analyze(
+            gate_derate=np.full(design.netlist.n_gates, 1.2),
+            flop_derate=np.full(design.netlist.n_flops, 1.2),
+        )
+        nom = {e.flop: e for e in nominal.endpoints}
+        der = {e.flop: e for e in derated.endpoints}
+        for fi, e in der.items():
+            assert e.arrival_ns > nom[fi].arrival_ns
+            assert e.slack_ns < nom[fi].slack_ns
+
+    def test_late_capture_clock_relaxes_required(self, env):
+        _design, _dm, sta = env
+        nominal = sta.analyze()
+        # A slower clock tree delays both launch (arrival) and capture
+        # (required); required grows by the endpoint's own insertion
+        # scaling.
+        scaled = sta.analyze(clock_delay_scale=lambda buf, d: d * 1.5)
+        nom = {e.flop: e for e in nominal.endpoints}
+        for e in scaled.endpoints:
+            assert e.required_ns > nom[e.flop].required_ns
+
+    def test_trace_path_consistent(self, env):
+        _design, _dm, sta = env
+        report = sta.analyze()
+        endpoint = report.worst_endpoints(1)[0]
+        path = sta.trace_path(endpoint)
+        assert path, "empty path"
+        arrivals = [p.arrival_ns for p in path]
+        assert arrivals == sorted(arrivals)
+        assert path[-1].arrival_ns == pytest.approx(endpoint.arrival_ns)
+
+    def test_bad_inputs(self, env):
+        design, dm, sta = env
+        with pytest.raises(SimulationError):
+            sta.analyze(gate_derate=np.ones(3))
+        with pytest.raises(SimulationError):
+            StaticTimingAnalyzer(
+                design.netlist, dm, design.clock_trees["clka"],
+                period_ns=-1.0, domain="clka",
+            )
+
+
+class TestIrDerates:
+    def test_derates_from_ir(self, env):
+        design, dm, sta = env
+        model = GridModel.calibrated(design, nx=12, ny=12)
+        calc = ScapCalculator(design, "clka")
+        rng = np.random.default_rng(0)
+        v1 = {fi: int(rng.integers(2)) for fi in range(design.netlist.n_flops)}
+        timing = calc.simulate_pattern(v1)
+        ir = dynamic_ir_for_pattern(model, timing)
+        gate_d, flop_d = derates_from_ir(ir, ElectricalEnv())
+        assert (gate_d >= 1.0).all()
+        assert gate_d.max() == pytest.approx(
+            1.0 + 0.9 * ir.gate_droop_v.max()
+        )
+        # IR-derated STA is never more optimistic than nominal.
+        nominal = sta.analyze()
+        derated = sta.analyze(gate_derate=gate_d, flop_derate=flop_d)
+        assert derated.worst_slack_ns <= nominal.worst_slack_ns + 1e-9

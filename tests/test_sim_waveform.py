@@ -1,0 +1,91 @@
+"""Tests for switching traces and VCD export."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.power import ScapCalculator
+from repro.sim import SwitchingTrace, write_vcd
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def traced():
+    design = build_turbo_eagle("tiny", seed=3)
+    calc = ScapCalculator(design, "clka")
+    rng = np.random.default_rng(1)
+    v1 = {fi: int(rng.integers(2)) for fi in range(design.netlist.n_flops)}
+    result = calc.simulate_pattern(v1, record_trace=True)
+    return design, result
+
+
+class TestSwitchingTrace:
+    def test_requires_trace(self, traced):
+        design, result = traced
+        untraced = ScapCalculator(design, "clka").simulate_pattern(
+            {fi: 0 for fi in range(design.netlist.n_flops)}
+        )
+        with pytest.raises(SimulationError):
+            SwitchingTrace(design.netlist, untraced)
+
+    def test_event_count_matches(self, traced):
+        design, result = traced
+        trace = SwitchingTrace(design.netlist, result)
+        assert len(trace) == result.n_transitions
+
+    def test_window_query_partitions(self, traced):
+        design, result = traced
+        trace = SwitchingTrace(design.netlist, result)
+        mid = result.stw_ns / 2.0
+        early = trace.transitions_in_window(0.0, mid)
+        late = trace.transitions_in_window(mid, result.stw_ns + 1e-9)
+        assert early + late == len(trace)
+        assert early > 0
+
+    def test_toggles_by_block_matches_energy_blocks(self, traced):
+        design, result = traced
+        trace = SwitchingTrace(design.netlist, result)
+        by_block = trace.toggles_by_block()
+        for block, count in by_block.items():
+            assert count > 0
+            assert result.energy_fj_by_block.get(block, 0.0) > 0.0
+
+    def test_busiest_nets(self, traced):
+        design, result = traced
+        trace = SwitchingTrace(design.netlist, result)
+        busiest = trace.busiest_nets(5)
+        assert len(busiest) <= 5
+        counts = [c for _n, c in busiest]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestVcd:
+    def test_vcd_structure(self, traced):
+        design, result = traced
+        trace = SwitchingTrace(design.netlist, result)
+        buf = io.StringIO()
+        write_vcd(trace, buf, initial_values=None)
+        text = buf.getvalue()
+        assert "$timescale" in text
+        assert "$enddefinitions" in text
+        assert "$dumpvars" in text
+        # Time markers are monotone.
+        ticks = [
+            int(line[1:])
+            for line in text.splitlines()
+            if line.startswith("#")
+        ]
+        assert ticks == sorted(ticks)
+
+    def test_vcd_declares_only_traced_nets(self, traced):
+        design, result = traced
+        trace = SwitchingTrace(design.netlist, result)
+        buf = io.StringIO()
+        write_vcd(trace, buf)
+        n_vars = buf.getvalue().count("$var wire")
+        toggled = int((result.toggles > 0).sum())
+        assert n_vars == toggled

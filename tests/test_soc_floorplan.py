@@ -1,0 +1,99 @@
+"""Tests for the floorplan and pad-ring geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.soc.floorplan import (
+    BLOCK_NAMES,
+    BlockRegion,
+    Floorplan,
+    make_turbo_eagle_floorplan,
+    periphery_pad_positions,
+)
+
+
+@pytest.fixture
+def fp() -> Floorplan:
+    return make_turbo_eagle_floorplan(1000.0)
+
+
+class TestFloorplan:
+    def test_all_blocks_present(self, fp):
+        assert set(fp.regions) == set(BLOCK_NAMES)
+
+    def test_blocks_do_not_overlap(self, fp):
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            x = float(rng.uniform(0, fp.width))
+            y = float(rng.uniform(0, fp.height))
+            owners = [r.name for r in fp if r.contains(x, y)]
+            assert len(owners) <= 1
+
+    def test_b5_is_largest_and_central(self, fp):
+        areas = {r.name: r.area for r in fp}
+        assert max(areas, key=areas.get) == "B5"
+        cx, cy = fp.center
+        assert fp.block_at(cx, cy) == "B5"
+
+    def test_b5_farthest_from_periphery(self, fp):
+        dist = {
+            r.name: fp.distance_to_periphery(*r.center) for r in fp
+        }
+        assert max(dist, key=dist.get) == "B5"
+
+    def test_random_point_inside(self, fp):
+        rng = np.random.default_rng(7)
+        region = fp.region("B3")
+        for _ in range(100):
+            x, y = region.random_point(rng)
+            assert region.contains(x, y)
+
+    def test_degenerate_region_rejected(self):
+        with pytest.raises(ConfigError):
+            BlockRegion("bad", 10, 10, 10, 20)
+
+    def test_region_outside_chip_rejected(self):
+        region = BlockRegion("big", 0, 0, 2000, 2000)
+        with pytest.raises(ConfigError):
+            Floorplan(1000, 1000, {"big": region})
+
+    def test_unknown_block_raises(self, fp):
+        with pytest.raises(ConfigError):
+            fp.region("B9")
+
+    def test_ascii_render_contains_all_blocks(self, fp):
+        art = fp.render_ascii()
+        for digit in "123456":
+            assert digit in art
+
+
+class TestPads:
+    def test_pad_count_and_on_edge(self, fp):
+        pads = periphery_pad_positions(fp, 37)
+        assert len(pads) == 37
+        for x, y in pads:
+            on_edge = (
+                x in (0.0, fp.width) or y in (0.0, fp.height)
+            )
+            assert on_edge
+
+    def test_pads_cover_all_four_sides(self, fp):
+        pads = periphery_pad_positions(fp, 37)
+        sides = set()
+        for x, y in pads:
+            if y == 0.0:
+                sides.add("bottom")
+            elif y == fp.height:
+                sides.add("top")
+            elif x == 0.0:
+                sides.add("left")
+            elif x == fp.width:
+                sides.add("right")
+        assert sides == {"bottom", "top", "left", "right"}
+
+    def test_zero_pads_rejected(self, fp):
+        with pytest.raises(ConfigError):
+            periphery_pad_positions(fp, 0)

@@ -1,0 +1,87 @@
+"""Tests for timing-aware (long-path-preferring) test generation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.atpg import (
+    AtpgEngine,
+    TransitionFaultDiagnoser,
+    build_fault_universe,
+    collapse_faults,
+)
+from repro.atpg.fill import apply_fill
+from repro.atpg.podem import generate_test
+from repro.atpg.twoframe import TwoFrameState
+from repro.power import ScapCalculator
+from repro.sim import DelayModel
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def env():
+    design = build_turbo_eagle("tiny", seed=7)
+    dm = DelayModel(design.netlist, design.parasitics)
+    return design, dm
+
+
+class TestTimingAware:
+    def test_engine_flag_wires_arrivals(self, env):
+        design, dm = env
+        engine = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                            timing_aware=True, delays=dm)
+        assert engine.state.arrival is not None
+        assert len(engine.state.arrival) == design.netlist.n_nets
+
+    def test_coverage_maintained(self, env):
+        design, dm = env
+        plain = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                           seed=3).run(fill="0")
+        aware = AtpgEngine(design.netlist, "clka", scan=design.scan,
+                           seed=3, timing_aware=True, delays=dm
+                           ).run(fill="0")
+        assert abs(plain.test_coverage - aware.test_coverage) < 0.05
+
+    def _detect_arrivals(self, design, dm, timing_aware, sample):
+        calc = ScapCalculator(design, "clka")
+        diag = TransitionFaultDiagnoser(design.netlist, "clka")
+        state = TwoFrameState(design.netlist, "clka")
+        if timing_aware:
+            state.arrival = dm.static_arrivals_ns()
+        arrivals = []
+        for fault in sample:
+            result = generate_test(state, fault, max_backtracks=80)
+            if not result.success:
+                continue
+            v1 = apply_fill(result.cube, design.netlist.n_flops, "0")
+            per_flop = diag._per_flop_detection(v1[None, :], fault)
+            if not per_flop:
+                continue
+            timing = calc.simulate_pattern(
+                {fi: int(v1[fi]) for fi in range(len(v1))}
+            )
+            best = 0.0
+            for fi in per_flop:
+                a = float(timing.last_arrival_ns[design.netlist.flops[fi].d])
+                if not math.isnan(a):
+                    best = max(best, a)
+            if best > 0:
+                arrivals.append(best)
+        return arrivals
+
+    def test_longer_detection_paths_on_average(self, env):
+        """The long-path frontier steering must not shorten — and
+        should slightly lengthen — the sensitized detection paths."""
+        design, dm = env
+        reps, _ = collapse_faults(
+            design.netlist, build_fault_universe(design.netlist)
+        )
+        rng = np.random.default_rng(0)
+        sample = [reps[int(i)] for i in rng.permutation(len(reps))[:50]]
+        plain = self._detect_arrivals(design, dm, False, sample)
+        aware = self._detect_arrivals(design, dm, True, sample)
+        assert plain and aware
+        assert np.mean(aware) >= np.mean(plain) - 0.05
