@@ -26,6 +26,7 @@ from .core import (
     ir_scaled_endpoint_comparison,
     validate_pattern_set,
 )
+from .perf import PatternProfileCache, pool_map
 from .power import PatternPowerProfile, ScapCalculator
 from .soc import SocDesign, build_turbo_eagle
 
@@ -38,12 +39,14 @@ __all__ = [
     "K_VOLT",
     "NoiseAwarePatternGenerator",
     "PatternPowerProfile",
+    "PatternProfileCache",
     "ScapCalculator",
     "SocDesign",
     "VDD_NOMINAL",
     "build_turbo_eagle",
     "derive_scap_thresholds",
     "ir_scaled_endpoint_comparison",
+    "pool_map",
     "validate_pattern_set",
     "__version__",
 ]

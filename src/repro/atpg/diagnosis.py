@@ -104,7 +104,7 @@ class TransitionFaultDiagnoser:
         act = f1[site] if fault.initial_value else (~f1[site] & mask)
         if act == 0:
             return {}
-        cone_gates, captures = self.fsim._cone(site)
+        cone_gates, captures = self.fsim.cone_of(site)
         if not captures:
             return {}
         forced = mask if fault.initial_value else 0
@@ -148,7 +148,7 @@ class TransitionFaultDiagnoser:
         ranked: List[DiagnosisCandidate] = []
         for fault in candidates:
             # Cone filter: the fault must reach a failing endpoint.
-            _gates, captures = self.fsim._cone(fault.net)
+            _gates, captures = self.fsim.cone_of(fault.net)
             if not failing_dnets & set(captures):
                 continue
             predicted = self.predicted_syndrome(pattern_set, fault)

@@ -99,6 +99,7 @@ class AtpgEngine:
         seed: int = 1,
         timing_aware: bool = False,
         delays=None,
+        n_workers: int = 1,
     ):
         """``max_targets_per_block`` is the option the paper wished its
         ATPG had ("to limit the maximum number of faults targeted by a
@@ -112,7 +113,11 @@ class AtpgEngine:
         :class:`~repro.sim.delays.DelayModel`), so patterns exercise
         longer paths — countering the paper's observation that plain
         ATPG activates "easy-to-find paths rather than longer paths
-        through the target fault sites"."""
+        through the target fault sites".
+
+        ``n_workers`` fans the per-batch fault simulation out across a
+        process pool (chunked fault partitions; results bit-identical
+        to serial)."""
         if protocol == "los" and scan is None:
             raise AtpgError("LOS ATPG needs the scan configuration")
         self.netlist = netlist
@@ -125,6 +130,7 @@ class AtpgEngine:
         self.max_merge_per_pattern = max_merge_per_pattern
         self.max_targets_per_block = max_targets_per_block
         self.batch_size = batch_size
+        self.n_workers = n_workers
         self.rng = np.random.default_rng(seed)
         self.state = TwoFrameState(netlist, domain, protocol=protocol,
                                    scan=scan)
@@ -261,8 +267,9 @@ class AtpgEngine:
             # Fault-simulate the batch against everything still pending.
             matrix = np.stack([p.v1 for p in batch])
             live = [f for f in pending if f in pending_set]
-            words = self.fsim.run(
-                matrix, live, protocol=self.protocol, scan=self.scan
+            words = self.fsim.run_batch(
+                matrix, live, protocol=self.protocol, scan=self.scan,
+                n_workers=self.n_workers,
             )
             base = len(pattern_set)
             for fault, word in words.items():

@@ -6,24 +6,88 @@ the stem forced to the stuck value, and a fault is detected under the
 patterns where (a) frame 1 sets the stem to the initial value and
 (b) the faulty frame-2 value differs from the good one at a capture
 (pulsed-flop D) net.
+
+Three throughput layers sit on top of the plain cone walk:
+
+* **activation-restricted divergence** — the faulty machine only needs
+  to diverge on patterns that both activate the fault and toggle the
+  stem in frame 2 (detection is masked by activation anyway), so faults
+  whose stem never toggles under activation skip simulation entirely;
+* **compiled cone kernels** — each fault site's cone is code-generated
+  once into a straight-line Python function of pure bigint ops (classic
+  compiled-code simulation: no dicts, no per-gate calls) that returns
+  the capture-net difference word directly;
+* :meth:`run_batch` — arbitrary pattern counts split into fixed-width
+  *lanes* (cheap machine-word bigint ops instead of one enormous word),
+  optional fault dropping between lanes, and optional fault-partitioned
+  fan-out across a process pool (each worker rebuilds the simulator
+  once, then grades its fault chunk against every lane).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import AtpgError
-from ..netlist.cells import CELL_FUNCTIONS
 from ..netlist.levelize import levelize
 from ..netlist.netlist import Netlist
+from ..perf.pool import chunked, pool_map, resolve_workers
 from ..sim.logic import (
     LogicSim,
     launch_capture_with_state,
     loc_launch_capture,
+    pack_matrix,
 )
 from .faults import TransitionFault
+
+#: Default lane width for :meth:`FaultSimulator.run_batch` — one
+#: machine word, so packed bigints stay in CPython's fast small-int
+#: paths instead of multi-limb arithmetic.
+DEFAULT_LANE_WIDTH = 64
+
+#: Sentinel distinguishing "not compiled yet" from "no capture in cone".
+_UNCOMPILED = object()
+
+
+def _kind_expr(kind: str, args: List[str]) -> str:
+    """Bigint expression for one cell kind over already-masked operands.
+
+    Must match :data:`repro.netlist.cells.CELL_FUNCTIONS` bit for bit;
+    non-inverting kinds skip the ``& mask`` because their operands are
+    already masked.
+    """
+    if kind == "INV":
+        return f"~{args[0]} & mask"
+    if kind in ("BUF", "CLKBUF"):
+        return args[0]
+    if kind.startswith("AND"):
+        return " & ".join(args)
+    if kind.startswith("NAND"):
+        return f"~({' & '.join(args)}) & mask"
+    if kind.startswith("OR"):
+        return " | ".join(args)
+    if kind.startswith("NOR"):
+        return f"~({' | '.join(args)}) & mask"
+    if kind == "XOR2":
+        return f"{args[0]} ^ {args[1]}"
+    if kind == "XNOR2":
+        return f"~({args[0]} ^ {args[1]}) & mask"
+    if kind == "MUX2":
+        d0, d1, sel = args
+        return f"({d0} & ~{sel}) | ({d1} & {sel})"
+    if kind == "AOI21":
+        a, b, c = args
+        return f"~(({a} & {b}) | {c}) & mask"
+    if kind == "OAI21":
+        a, b, c = args
+        return f"~(({a} | {b}) & {c}) & mask"
+    if kind == "TIE0":
+        return "0"
+    if kind == "TIE1":
+        return "mask"
+    raise AtpgError(f"no kernel expression for cell kind {kind!r}")
 
 
 class FaultSimulator:
@@ -43,36 +107,77 @@ class FaultSimulator:
         )
         if not self.capture_nets:
             raise AtpgError(f"domain {domain!r} has no capturing flops")
-        self._cone_cache: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+        self._cone_cache: Dict[int, Optional[Callable]] = {}
+        self._cone_gates_cache: Dict[
+            int, Tuple[Tuple[int, ...], Tuple[int, ...]]
+        ] = {}
 
-    def _cone(self, site: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
-        """(cone gate list in level order, capture nets reachable)."""
-        cached = self._cone_cache.get(site)
+    def cone_of(self, site: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Structural fanout cone of a fault site.
+
+        Returns ``(gate indices in level order, capture nets
+        reachable)`` — the raw topology behind the compiled kernels,
+        also used by diagnosis for per-endpoint resolution and cone
+        filtering.
+        """
+        cached = self._cone_gates_cache.get(site)
         if cached is not None:
             return cached
-        gates = self.netlist.transitive_fanout_gates(site)
+        netlist = self.netlist
+        gates = netlist.transitive_fanout_gates(site)
         gates.sort(key=self._level_of_gate.__getitem__)
         nets = {site}
-        nets.update(self.netlist.gates[gi].output for gi in gates)
-        captures = tuple(sorted(nets & self.capture_nets))
-        result = (tuple(gates), captures)
-        self._cone_cache[site] = result
+        nets.update(netlist.gates[gi].output for gi in gates)
+        result = (tuple(gates), tuple(sorted(nets & self.capture_nets)))
+        self._cone_gates_cache[site] = result
         return result
+
+    def _cone(self, site: int) -> Optional[Callable[[int, Dict, int], int]]:
+        """Compiled cone kernel for one fault site (``None`` when the
+        cone reaches no capture net).
+
+        ``kernel(site_div, good_frame2, mask)`` propagates the stem
+        divergence word through the site's whole fanout cone in level
+        order and returns the OR of capture-net difference words.  The
+        cone is generated once into straight-line bigint code — every
+        gate is one expression over local variables (cone nets) and
+        ``g2[...]`` lookups (side inputs), with no per-gate dispatch.
+        """
+        kernel = self._cone_cache.get(site, _UNCOMPILED)
+        if kernel is not _UNCOMPILED:
+            return kernel
+        netlist = self.netlist
+        gates, captures = self.cone_of(site)
+        if not captures:
+            self._cone_cache[site] = None
+            return None
+        lines = [
+            "def _kernel(sdiv, g2, mask):",
+            f"    v{site} = g2[{site}] ^ sdiv",
+        ]
+        defined = {site}
+        for gi in gates:
+            g = netlist.gates[gi]
+            args = [
+                f"v{p}" if p in defined else f"g2[{p}]" for p in g.inputs
+            ]
+            lines.append(f"    v{g.output} = {_kind_expr(g.kind, args)}")
+            defined.add(g.output)
+        diff = " | ".join(f"(v{c} ^ g2[{c}])" for c in captures)
+        lines.append(f"    return {diff}")
+        namespace: Dict[str, Callable] = {}
+        exec(  # noqa: S102 — code built only from int net ids / cell kinds
+            compile("\n".join(lines), f"<fsim-cone-{site}>", "exec"),
+            namespace,
+        )
+        kernel = namespace["_kernel"]
+        self._cone_cache[site] = kernel
+        return kernel
 
     @staticmethod
     def pack(v1_matrix: np.ndarray) -> Tuple[Dict[int, int], int]:
         """Pack an ``(n_patterns, n_flops)`` bit matrix into words."""
-        n_pat, n_flops = v1_matrix.shape
-        mask = (1 << n_pat) - 1
-        packed: Dict[int, int] = {}
-        for fi in range(n_flops):
-            word = 0
-            col = v1_matrix[:, fi]
-            for p in range(n_pat):
-                if col[p]:
-                    word |= 1 << p
-            packed[fi] = word
-        return packed, mask
+        return pack_matrix(v1_matrix)
 
     def run(
         self,
@@ -82,10 +187,12 @@ class FaultSimulator:
         scan=None,
         v2_matrix: Optional[np.ndarray] = None,
     ) -> Dict[TransitionFault, int]:
-        """Simulate a pattern batch; return per-fault detection words.
+        """Simulate a single-lane pattern batch; return detection words.
 
         Bit *p* of the returned word is set when pattern *p* (row *p* of
         *v1_matrix*) detects the fault.  Undetected faults are omitted.
+        For large batches prefer :meth:`run_batch`, which splits the
+        patterns into machine-word lanes.
 
         Parameters
         ----------
@@ -125,8 +232,8 @@ class FaultSimulator:
             raise AtpgError(f"unknown protocol {protocol!r}")
         f1 = cyc.frame1
         g2 = cyc.frame2
-        gates = self.netlist.gates
 
+        cone = self._cone
         detections: Dict[TransitionFault, int] = {}
         for fault in faults:
             site = fault.net
@@ -138,25 +245,163 @@ class FaultSimulator:
                 forced = 0
             if act == 0:
                 continue
-            cone_gates, captures = self._cone(site)
-            if not captures:
+            # Only activated patterns can detect, so the faulty machine
+            # needs to diverge only where frame 1 activates AND frame 2
+            # actually drives the transition the fault is slow to make;
+            # divergence words stay sparse and a fault whose stem never
+            # toggles under activation skips the cone entirely.  The
+            # detection word is bit-identical either way because it is
+            # masked by activation regardless.
+            site_div = (g2[site] ^ forced) & act
+            if site_div == 0:
                 continue
-            faulty: Dict[int, int] = {site: forced}
-            get = faulty.get
-            for gi in cone_gates:
-                gate = gates[gi]
-                out_word = CELL_FUNCTIONS[gate.kind](
-                    [get(p, g2[p]) for p in gate.inputs], mask
-                )
-                if out_word != g2[gate.output]:
-                    faulty[gate.output] = out_word
-            diff = 0
-            for net in captures:
-                diff |= get(net, g2[net]) ^ g2[net]
-            det = diff & act
+            kernel = cone(site)
+            if kernel is None:
+                continue
+            det = kernel(site_div, g2, mask)
             if det:
                 detections[fault] = det
         return detections
+
+    def run_batch(
+        self,
+        v1_matrix: np.ndarray,
+        faults: Sequence[TransitionFault],
+        protocol: str = "loc",
+        scan=None,
+        v2_matrix: Optional[np.ndarray] = None,
+        lane_width: int = DEFAULT_LANE_WIDTH,
+        drop: bool = False,
+        n_workers: int = 1,
+    ) -> Dict[TransitionFault, int]:
+        """Fault-simulate an arbitrarily large batch in fixed-width lanes.
+
+        Detection-word bits are indexed by the *global* pattern row, so
+        with ``drop=False`` the result is bit-identical to a single
+        :meth:`run` over the whole matrix — lanes are purely a speed
+        lever (machine-word bigints, activation skips per lane).
+
+        Parameters
+        ----------
+        lane_width:
+            Patterns per lane (default one machine word).  With
+            ``drop=True`` narrow lanes pay off (dropped faults skip all
+            later lanes); without dropping a wide lane amortises the
+            per-fault setup better.
+        drop:
+            Drop a fault after its first detecting lane: later lanes
+            skip it, so its word only carries that lane's detections.
+            The set of detected faults and each fault's first-detection
+            index are unchanged; use it when only those matter
+            (coverage grading), not when counting detections per fault.
+        n_workers:
+            Fan the fault list out across a process pool in chunked
+            partitions (each worker rebuilds the simulator once, then
+            grades its chunk against every lane).  ``<= 1`` stays
+            serial in-process.
+        """
+        v1_matrix = np.asarray(v1_matrix)
+        if v1_matrix.ndim != 2:
+            raise AtpgError("v1_matrix must be (n_patterns, n_flops)")
+        if lane_width <= 0:
+            raise AtpgError("lane_width must be positive")
+        n_pat = v1_matrix.shape[0]
+        faults = list(faults)
+        if n_pat == 0 or not faults:
+            return {}
+
+        eff = resolve_workers(n_workers, len(faults))
+        if eff > 1:
+            # Chunked fault partitions; a few chunks per worker keeps
+            # the load balanced when cone sizes are skewed.
+            chunks = chunked(faults, eff * 4)
+            results = pool_map(
+                _fsim_worker_task,
+                chunks,
+                n_workers=eff,
+                initializer=_fsim_worker_init,
+                initargs=(
+                    self.netlist,
+                    self.domain,
+                    v1_matrix,
+                    protocol,
+                    scan,
+                    v2_matrix,
+                    lane_width,
+                    drop,
+                ),
+            )
+            merged: Dict[TransitionFault, int] = {}
+            for part in results:
+                merged.update(part)
+            return merged
+
+        detections: Dict[TransitionFault, int] = {}
+        live = faults
+        for start in range(0, n_pat, lane_width):
+            if not live:
+                break
+            lane = v1_matrix[start:start + lane_width]
+            v2_lane = (
+                v2_matrix[start:start + lane_width]
+                if v2_matrix is not None
+                else None
+            )
+            words = self.run(
+                lane, live, protocol=protocol, scan=scan, v2_matrix=v2_lane
+            )
+            for fault, word in words.items():
+                prev = detections.get(fault)
+                detections[fault] = (
+                    word << start if prev is None else prev | (word << start)
+                )
+            if drop and words:
+                live = [f for f in live if f not in detections]
+        return detections
+
+
+#: Per-worker simulator context installed by :func:`_fsim_worker_init`.
+_FSIM_WORKER_STATE: Optional[Tuple] = None
+
+
+def _fsim_worker_init(
+    netlist: Netlist,
+    domain: str,
+    v1_matrix: np.ndarray,
+    protocol: str,
+    scan,
+    v2_matrix: Optional[np.ndarray],
+    lane_width: int,
+    drop: bool,
+) -> None:
+    """Rebuild the fault simulator once per worker process."""
+    global _FSIM_WORKER_STATE
+    _FSIM_WORKER_STATE = (
+        FaultSimulator(netlist, domain),
+        v1_matrix,
+        protocol,
+        scan,
+        v2_matrix,
+        lane_width,
+        drop,
+    )
+
+
+def _fsim_worker_task(
+    fault_chunk: Sequence[TransitionFault],
+) -> Dict[TransitionFault, int]:
+    """Grade one fault partition against every lane (runs in a worker)."""
+    sim, v1, protocol, scan, v2, lane_width, drop = _FSIM_WORKER_STATE
+    return sim.run_batch(
+        v1,
+        fault_chunk,
+        protocol=protocol,
+        scan=scan,
+        v2_matrix=v2,
+        lane_width=lane_width,
+        drop=drop,
+        n_workers=1,
+    )
 
 
 def _packed_shift(packed: Dict[int, int], scan) -> Dict[int, int]:

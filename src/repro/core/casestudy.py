@@ -18,6 +18,7 @@ from ..config import ElectricalEnv
 from ..errors import ConfigError
 from ..pgrid.dynamic_ir import DynamicIrResult, dynamic_ir_for_pattern
 from ..pgrid.grid import GridModel
+from ..perf.cache import PatternProfileCache
 from ..pgrid.statistical_ir import StatisticalIrRow, statistical_ir_analysis
 from ..power.calculator import ScapCalculator
 from ..soc.generator import build_turbo_eagle
@@ -40,12 +41,17 @@ class CaseStudy:
         atpg_seed: int = 1,
         backtrack_limit: int = 100,
         target_statistical_drop_v: float = 0.15,
+        n_workers: int = 1,
     ):
+        """``n_workers`` fans fault simulation and SCAP grading out
+        across a process pool (see :mod:`repro.perf`); results are
+        bit-identical to the serial default."""
         self.design = build_turbo_eagle(scale, seed)
         self.domain = self.design.dominant_domain()
         self.engine = engine
         self.atpg_seed = atpg_seed
         self.backtrack_limit = backtrack_limit
+        self.n_workers = n_workers
         self.grid_nx = grid_nx
         self.grid_ny = grid_ny
         self.target_statistical_drop_v = target_statistical_drop_v
@@ -73,7 +79,8 @@ class CaseStudy:
     def calculator(self) -> ScapCalculator:
         if self._calculator is None:
             self._calculator = ScapCalculator(
-                self.design, self.domain, engine=self.engine
+                self.design, self.domain, engine=self.engine,
+                cache=PatternProfileCache(),
             )
         return self._calculator
 
@@ -95,6 +102,7 @@ class CaseStudy:
                 self.domain,
                 seed=self.atpg_seed,
                 backtrack_limit=self.backtrack_limit,
+                n_workers=self.n_workers,
             )
             self._flows["conventional"] = flow.run(max_patterns=max_patterns)
         return self._flows["conventional"]
@@ -107,6 +115,7 @@ class CaseStudy:
                 self.domain,
                 seed=self.atpg_seed,
                 backtrack_limit=self.backtrack_limit,
+                n_workers=self.n_workers,
             )
             self._flows["staged"] = flow.run(max_patterns=max_patterns)
         return self._flows["staged"]
@@ -120,7 +129,8 @@ class CaseStudy:
                 else self.staged()
             )
             self._validations[flow_name] = validate_pattern_set(
-                self.calculator, flow.pattern_set, self.thresholds_mw
+                self.calculator, flow.pattern_set, self.thresholds_mw,
+                n_workers=self.n_workers,
             )
         return self._validations[flow_name]
 

@@ -109,16 +109,19 @@ class ConventionalFlow:
         domain: Optional[str] = None,
         fill: str = "random",
         seed: int = 1,
+        n_workers: int = 1,
         **engine_kwargs,
     ):
         self.design = design
         self.domain = domain if domain is not None else design.dominant_domain()
         self.fill = fill
+        self.n_workers = n_workers
         self.engine = AtpgEngine(
             design.netlist,
             self.domain,
             scan=design.scan,
             seed=seed,
+            n_workers=n_workers,
             **engine_kwargs,
         )
 
@@ -147,11 +150,15 @@ class NoiseAwarePatternGenerator:
         seed: int = 1,
         isolate_untargeted: bool = False,
         power_critical_blocks: Sequence[str] = ("B5",),
+        n_workers: int = 1,
+        grade_lane_width: int = 64,
         **engine_kwargs,
     ):
         self.design = design
         self.domain = domain if domain is not None else design.dominant_domain()
         self.fill = fill
+        self.n_workers = n_workers
+        self.grade_lane_width = grade_lane_width
         self.isolate_untargeted = isolate_untargeted
         self.power_critical_blocks = tuple(power_critical_blocks)
         self.stage_plan = [tuple(s) for s in stage_plan]
@@ -167,6 +174,7 @@ class NoiseAwarePatternGenerator:
             self.domain,
             scan=design.scan,
             seed=seed,
+            n_workers=n_workers,
             **engine_kwargs,
         )
 
@@ -187,7 +195,11 @@ class NoiseAwarePatternGenerator:
             # step's targets (standard practice before a follow-up ATPG
             # run): anything fortuitously covered is not re-targeted.
             if combined.patterns and targets:
-                graded = _grade_existing(fsim, combined, targets)
+                graded = _grade_existing(
+                    fsim, combined, targets,
+                    lane_width=self.grade_lane_width,
+                    n_workers=self.n_workers,
+                )
                 cross_detected.update(graded)
                 targets = [f for f in targets if f not in graded]
             boundaries.append(next_index)
@@ -247,18 +259,20 @@ def _grade_existing(
     fsim: FaultSimulator,
     pattern_set: PatternSet,
     targets: Sequence[TransitionFault],
-    batch: int = 64,
+    lane_width: int = 64,
+    n_workers: int = 1,
 ) -> Dict[TransitionFault, int]:
-    """Which of *targets* the existing patterns already detect."""
-    detected: Dict[TransitionFault, int] = {}
-    live = list(targets)
+    """Which of *targets* the existing patterns already detect.
+
+    One multi-word :meth:`~repro.atpg.fsim.FaultSimulator.run_batch`
+    call with between-lane fault dropping (a dropped fault's later
+    lanes are never simulated) and optional fault-partition workers.
+    """
     matrix = pattern_set.as_matrix()
-    for start in range(0, matrix.shape[0], batch):
-        if not live:
-            break
-        chunk = matrix[start:start + batch]
-        words = fsim.run(chunk, live)
-        for fault, word in words.items():
-            detected[fault] = start + first_detection_index(word)
-        live = [f for f in live if f not in detected]
-    return detected
+    words = fsim.run_batch(
+        matrix, targets, lane_width=lane_width, drop=True,
+        n_workers=n_workers,
+    )
+    return {
+        fault: first_detection_index(word) for fault, word in words.items()
+    }

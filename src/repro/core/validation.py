@@ -78,9 +78,16 @@ def validate_pattern_set(
     calculator: ScapCalculator,
     pattern_set,
     thresholds_mw: Dict[str, float],
+    n_workers: int = 1,
 ) -> ValidationReport:
-    """Profile every pattern and screen against per-block thresholds."""
-    profiles = calculator.profile_set(pattern_set)
+    """Profile every pattern and screen against per-block thresholds.
+
+    Grading runs through the calculator's batched
+    :meth:`~repro.power.calculator.ScapCalculator.profile_patterns`
+    path (machine-word logic-simulation lanes, optional worker pool,
+    profile cache) — bit-exact with per-pattern profiling.
+    """
+    profiles = calculator.profile_patterns(pattern_set, n_workers=n_workers)
     violations: List[ScapViolation] = []
     for profile in profiles:
         for block, limit in thresholds_mw.items():

@@ -1,0 +1,39 @@
+"""Parallel/batched execution layer (the throughput subsystem).
+
+The paper's flow is re-grading-bound: every candidate pattern set is
+fault-simulated against the undetected universe and SCAP-graded per
+block, and the staged noise-aware procedure repeats both per stage per
+clock domain.  This package supplies the shared machinery that makes
+those hot paths cheap:
+
+* :mod:`~repro.perf.pool` — a fork/spawn-safe process-pool map with
+  per-worker one-time initialisation (rebuild the netlist/simulator
+  once per worker, not once per task), chunk helpers, ordered result
+  merge and a graceful serial fallback,
+* :mod:`~repro.perf.cache` — a digest-keyed pattern-profile cache so
+  staged flows never re-simulate an identical launch state.
+
+The consumers are :meth:`repro.atpg.fsim.FaultSimulator.run_batch`
+(multi-word fault simulation with chunked fault partitions) and
+:meth:`repro.power.calculator.ScapCalculator.profile_patterns`
+(batched SCAP grading).
+"""
+
+from .cache import PatternProfileCache, digest_key
+from .pool import (
+    available_workers,
+    chunk_slices,
+    chunked,
+    pool_map,
+    resolve_workers,
+)
+
+__all__ = [
+    "PatternProfileCache",
+    "available_workers",
+    "chunk_slices",
+    "chunked",
+    "digest_key",
+    "pool_map",
+    "resolve_workers",
+]

@@ -1,0 +1,83 @@
+"""Digest-keyed pattern-profile cache.
+
+The staged flow grades the same launch states repeatedly: every stage
+re-screens the accumulated pattern set, the figure/table reproductions
+re-profile patterns the validation already simulated, and quiet fill-0
+patterns are frequently byte-identical.  A gate-level timing simulation
+costs milliseconds; a digest lookup costs microseconds.
+
+Keys are SHA-1 digests of the pattern's V1 bytes plus a *context*
+tuple (design token, domain, engine, VDD, period, protocol), so one
+cache can safely serve several calculators.  Values are whatever the
+caller stores — by convention a
+:class:`~repro.power.scap.PatternPowerProfile`, whose ``pattern_index``
+the caller re-stamps on hit (the profile of a launch state does not
+depend on where the pattern sits in the set).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+
+def digest_key(payload: bytes, context: Tuple = ()) -> str:
+    """SHA-1 digest of *payload* under a hashable *context* tuple."""
+    h = hashlib.sha1(payload)
+    h.update(repr(context).encode("utf-8"))
+    return h.hexdigest()
+
+
+class PatternProfileCache:
+    """Bounded LRU cache mapping digest keys to pattern profiles."""
+
+    def __init__(self, max_entries: Optional[int] = 65536):
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self._store: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._store
+
+    def get(self, key: str) -> Optional[Any]:
+        """Cached value for *key*, bumping it to most-recently-used."""
+        value = self._store.get(key)
+        if value is None and key not in self._store:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Hit/miss counters for reporting and benchmarks."""
+        return {
+            "entries": len(self._store),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+        }

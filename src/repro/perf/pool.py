@@ -1,0 +1,129 @@
+"""Process-pool map with per-worker initialisation and serial fallback.
+
+The workloads this serves (fault-simulating a fault partition, SCAP-
+grading a pattern chunk) all share one shape: an expensive read-only
+context (netlist, simulators, delay model) plus many small independent
+work items.  Rebuilding the context per item would drown the pool in
+setup cost, so :func:`pool_map` takes an *initializer* that runs once
+per worker process and stashes the rebuilt context in a module-level
+slot; tasks then only ship their small work item.
+
+Fallback rules (all produce results identical to the pool path):
+
+* ``n_workers <= 1`` (or one work item, or zero) runs serially in the
+  calling process, invoking the initializer locally first;
+* platforms whose best start method cannot run the tasks (pickling
+  failures, a broken pool, missing ``fork``/``spawn`` support) degrade
+  to the same serial path with a warning instead of raising.
+
+Results are always returned in input order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+
+def available_workers() -> int:
+    """CPUs visible to this process (the natural worker-count ceiling)."""
+    return os.cpu_count() or 1
+
+
+def resolve_workers(n_workers: Optional[int], n_items: int) -> int:
+    """Effective worker count for *n_items* work items.
+
+    ``None`` means "use every core"; explicit counts are honoured as
+    given (oversubscription is the caller's choice) but never exceed the
+    number of work items — an idle worker is pure fork cost.
+    """
+    if n_workers is None:
+        n_workers = available_workers()
+    return max(1, min(int(n_workers), max(1, n_items)))
+
+
+def chunk_slices(n_items: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal ``(start, stop)`` slices covering *n_items*."""
+    n_chunks = max(1, min(n_chunks, n_items)) if n_items else 0
+    slices: List[Tuple[int, int]] = []
+    base, extra = divmod(n_items, n_chunks) if n_chunks else (0, 0)
+    start = 0
+    for i in range(n_chunks):
+        stop = start + base + (1 if i < extra else 0)
+        slices.append((start, stop))
+        start = stop
+    return slices
+
+
+def chunked(items: Sequence[Any], n_chunks: int) -> List[List[Any]]:
+    """Split *items* into at most *n_chunks* contiguous near-equal runs."""
+    return [
+        list(items[start:stop])
+        for start, stop in chunk_slices(len(items), n_chunks)
+    ]
+
+
+def _mp_context():
+    """Prefer fork (cheap copy-on-write context inheritance); fall back
+    to spawn where fork is unavailable (Windows, some macOS setups)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context("spawn")
+
+
+def _serial_map(
+    task: Callable[[Any], Any],
+    items: Sequence[Any],
+    initializer: Optional[Callable[..., None]],
+    initargs: Tuple,
+) -> List[Any]:
+    if initializer is not None:
+        initializer(*initargs)
+    return [task(item) for item in items]
+
+
+def pool_map(
+    task: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    n_workers: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> List[Any]:
+    """Map *task* over *items* across worker processes, in order.
+
+    *task* and *initializer* must be module-level callables (picklable
+    by reference); the initializer runs once per worker before any task
+    and typically rebuilds simulators into a module global.  When the
+    pool cannot be used (``n_workers <= 1``, a single item, or a
+    platform/pickling failure) the same map runs serially in-process,
+    so callers never need a second code path.
+    """
+    items = list(items)
+    if not items:
+        return []
+    eff = resolve_workers(n_workers, len(items))
+    if eff <= 1:
+        return _serial_map(task, items, initializer, initargs)
+    try:
+        with ProcessPoolExecutor(
+            max_workers=eff,
+            mp_context=_mp_context(),
+            initializer=initializer,
+            initargs=initargs,
+        ) as pool:
+            return list(pool.map(task, items))
+    except (BrokenProcessPool, OSError, ValueError, TypeError,
+            AttributeError, ImportError, pickle.PicklingError) as exc:
+        warnings.warn(
+            f"process pool unavailable ({exc!r}); falling back to serial",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_map(task, items, initializer, initargs)

@@ -12,7 +12,12 @@
   each flop's own clock arrival (paper Figure 7 semantics).
 """
 
-from .logic import LogicSim, launch_capture_with_state, loc_launch_capture
+from .logic import (
+    LogicSim,
+    launch_capture_with_state,
+    loc_launch_capture,
+    pack_matrix,
+)
 from .delays import DelayModel
 from .event import EventTimingSim, TimingResult
 from .fasttiming import FastTimingSim
@@ -42,4 +47,5 @@ __all__ = [
     "endpoint_delays",
     "launch_capture_with_state",
     "loc_launch_capture",
+    "pack_matrix",
 ]

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,7 +27,7 @@ from ..config import VDD_NOMINAL
 from ..errors import SimulationError
 from ..netlist.cells import CELL_FUNCTIONS
 from ..netlist.netlist import Netlist
-from ..netlist.parasitics import ParasiticModel, extract_net_caps
+from ..netlist.parasitics import ParasiticModel
 from .delays import DelayModel
 
 #: A scheduled or applied transition: (time_ns, net, new_value).
@@ -54,6 +54,118 @@ class TimingResult:
 
     def energy_in_block(self, block: str) -> float:
         return self.energy_fj_by_block.get(block, 0.0)
+
+
+def _make_gate_eval(kind, ins):
+    """A single-pattern gate evaluator with inputs bound at build time.
+
+    The cell function is inlined per kind (same bit semantics as
+    :data:`~repro.netlist.cells.CELL_FUNCTIONS` at mask 1) so the event
+    loop's inner body is one call with no second dispatch and no
+    argument-tuple allocation.  Unknown kinds fall back to the registry.
+    """
+    n = len(ins)
+    if kind == "INV":
+        (i0,) = ins
+
+        def ev(v, _i0=i0):
+            return ~v[_i0] & 1
+    elif kind in ("BUF", "CLKBUF"):
+        (i0,) = ins
+
+        def ev(v, _i0=i0):
+            return v[_i0] & 1
+    elif kind == "XOR2":
+        i0, i1 = ins
+
+        def ev(v, _i0=i0, _i1=i1):
+            return (v[_i0] ^ v[_i1]) & 1
+    elif kind == "XNOR2":
+        i0, i1 = ins
+
+        def ev(v, _i0=i0, _i1=i1):
+            return ~(v[_i0] ^ v[_i1]) & 1
+    elif kind == "MUX2":
+        i0, i1, i2 = ins
+
+        def ev(v, _i0=i0, _i1=i1, _i2=i2):
+            sel = v[_i2]
+            return ((v[_i0] & ~sel) | (v[_i1] & sel)) & 1
+    elif kind == "AOI21":
+        i0, i1, i2 = ins
+
+        def ev(v, _i0=i0, _i1=i1, _i2=i2):
+            return ~((v[_i0] & v[_i1]) | v[_i2]) & 1
+    elif kind == "OAI21":
+        i0, i1, i2 = ins
+
+        def ev(v, _i0=i0, _i1=i1, _i2=i2):
+            return ~((v[_i0] | v[_i1]) & v[_i2]) & 1
+    elif kind.startswith(("AND", "NAND")) and n in (2, 3, 4):
+        invert = kind.startswith("NAND")
+        if n == 2:
+            i0, i1 = ins
+            if invert:
+                def ev(v, _i0=i0, _i1=i1):
+                    return ~(v[_i0] & v[_i1]) & 1
+            else:
+                def ev(v, _i0=i0, _i1=i1):
+                    return v[_i0] & v[_i1] & 1
+        elif n == 3:
+            i0, i1, i2 = ins
+            if invert:
+                def ev(v, _i0=i0, _i1=i1, _i2=i2):
+                    return ~(v[_i0] & v[_i1] & v[_i2]) & 1
+            else:
+                def ev(v, _i0=i0, _i1=i1, _i2=i2):
+                    return v[_i0] & v[_i1] & v[_i2] & 1
+        else:
+            i0, i1, i2, i3 = ins
+            if invert:
+                def ev(v, _i0=i0, _i1=i1, _i2=i2, _i3=i3):
+                    return ~(v[_i0] & v[_i1] & v[_i2] & v[_i3]) & 1
+            else:
+                def ev(v, _i0=i0, _i1=i1, _i2=i2, _i3=i3):
+                    return v[_i0] & v[_i1] & v[_i2] & v[_i3] & 1
+    elif kind.startswith(("OR", "NOR")) and n in (2, 3, 4):
+        invert = kind.startswith("NOR")
+        if n == 2:
+            i0, i1 = ins
+            if invert:
+                def ev(v, _i0=i0, _i1=i1):
+                    return ~(v[_i0] | v[_i1]) & 1
+            else:
+                def ev(v, _i0=i0, _i1=i1):
+                    return (v[_i0] | v[_i1]) & 1
+        elif n == 3:
+            i0, i1, i2 = ins
+            if invert:
+                def ev(v, _i0=i0, _i1=i1, _i2=i2):
+                    return ~(v[_i0] | v[_i1] | v[_i2]) & 1
+            else:
+                def ev(v, _i0=i0, _i1=i1, _i2=i2):
+                    return (v[_i0] | v[_i1] | v[_i2]) & 1
+        else:
+            i0, i1, i2, i3 = ins
+            if invert:
+                def ev(v, _i0=i0, _i1=i1, _i2=i2, _i3=i3):
+                    return ~(v[_i0] | v[_i1] | v[_i2] | v[_i3]) & 1
+            else:
+                def ev(v, _i0=i0, _i1=i1, _i2=i2, _i3=i3):
+                    return (v[_i0] | v[_i1] | v[_i2] | v[_i3]) & 1
+    elif kind == "TIE0":
+        def ev(v):
+            return 0
+    elif kind == "TIE1":
+        def ev(v):
+            return 1
+    else:
+        fn = CELL_FUNCTIONS[kind]
+        ins = tuple(ins)
+
+        def ev(v, _fn=fn, _ins=ins):
+            return _fn([v[p] for p in _ins], 1)
+    return ev
 
 
 class EventTimingSim:
@@ -85,6 +197,22 @@ class EventTimingSim:
         self._gate_ins = [g.inputs for g in netlist.gates]
         self._gate_out = [g.output for g in netlist.gates]
         self._gate_delay = delays.gate_delay_ns
+        # Per-net fanout evaluators: (closure, output net, delay) per
+        # driven gate, with the input indexes bound at build time so the
+        # event loop does no per-event connectivity lookups or index
+        # list construction.
+        gate_delay_list = [float(d) for d in delays.gate_delay_ns]
+        self._fanout_eval: List[Tuple[Tuple, ...]] = [
+            tuple(
+                (
+                    _make_gate_eval(netlist.gates[gi].kind, self._gate_ins[gi]),
+                    self._gate_out[gi],
+                    gate_delay_list[gi],
+                )
+                for gi in self._fanout_gates[net]
+            )
+            for net in range(netlist.n_nets)
+        ]
 
         # Block attribution: a net belongs to its driver's block.
         self._block_of_net: List[Optional[str]] = [None] * netlist.n_nets
@@ -93,6 +221,11 @@ class EventTimingSim:
         for f in netlist.flops:
             self._block_of_net[f.q] = f.block
         self._energy_of_net = self.parasitics.net_cap_ff * vdd * vdd
+        # Plain-float mirror of the per-net energies: scalar float adds
+        # are cheaper than numpy-scalar adds and bit-identical.
+        self._energy_list: List[float] = [
+            float(e) for e in self._energy_of_net
+        ]
 
     def simulate(
         self,
@@ -131,31 +264,30 @@ class EventTimingSim:
             horizon_ns = 2.0 * capture_time_ns
 
         values = list(initial_values)
-        toggles = np.zeros(n_nets, dtype=np.int32)
-        last_arrival = np.full(n_nets, np.nan)
+        toggles: List[int] = [0] * n_nets
+        last_arrival: List[float] = [math.nan] * n_nets
         energy_total = 0.0
         energy_by_block: Dict[str, float] = {}
         trace: Optional[List[LaunchEvent]] = [] if record_trace else None
 
+        heappush = heapq.heappush
+        heappop = heapq.heappop
         heap: List[Tuple[float, int, int, int]] = []
         seq = 0
         for t, net, val in launch_events:
-            heapq.heappush(heap, (t, seq, net, val & 1))
+            heappush(heap, (t, seq, net, val & 1))
             seq += 1
 
         stw = 0.0
         n_transitions = 0
         truncated = False
-        fanouts = self._fanout_gates
-        gate_fn = self._gate_fn
-        gate_ins = self._gate_ins
-        gate_out = self._gate_out
-        gate_delay = self._gate_delay
-        energy_of_net = self._energy_of_net
+        fanout_eval = self._fanout_eval
+        energy_of_net = self._energy_list
         block_of_net = self._block_of_net
+        by_block_get = energy_by_block.get
 
         while heap:
-            t, _s, net, val = heapq.heappop(heap)
+            t, _s, net, val = heappop(heap)
             if t > horizon_ns:
                 truncated = True
                 break
@@ -167,28 +299,24 @@ class EventTimingSim:
             last_arrival[net] = t
             if t > stw:
                 stw = t
-            energy = energy_of_net[net]
-            energy_total += energy
+            energy_total += energy_of_net[net]
             block = block_of_net[net]
             if block is not None:
                 energy_by_block[block] = (
-                    energy_by_block.get(block, 0.0) + energy
+                    by_block_get(block, 0.0) + energy_of_net[net]
                 )
             if trace is not None:
                 trace.append((t, net, val))
-            for gi in fanouts[net]:
-                new_out = gate_fn[gi]([values[p] for p in gate_ins[gi]], 1)
-                heapq.heappush(
-                    heap, (t + gate_delay[gi], seq, gate_out[gi], new_out)
-                )
+            for ev, out, dly in fanout_eval[net]:
+                heappush(heap, (t + dly, seq, out, ev(values)))
                 seq += 1
 
         return TimingResult(
             stw_ns=stw,
             capture_time_ns=capture_time_ns,
             n_transitions=n_transitions,
-            toggles=toggles,
-            last_arrival_ns=last_arrival,
+            toggles=np.asarray(toggles, dtype=np.int32),
+            last_arrival_ns=np.asarray(last_arrival, dtype=float),
             energy_fj_total=energy_total,
             energy_fj_by_block=energy_by_block,
             truncated=truncated,

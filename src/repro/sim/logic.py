@@ -12,10 +12,44 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..errors import SimulationError
 from ..netlist.cells import CELL_FUNCTIONS
 from ..netlist.levelize import levelize
 from ..netlist.netlist import Netlist
+
+
+def pack_matrix(matrix: np.ndarray) -> Tuple[Dict[int, int], int]:
+    """Pack an ``(n_patterns, n_columns)`` bit matrix into words.
+
+    Bit *p* of column *c*'s word is set when ``matrix[p, c]`` is
+    non-zero — the packed form every bit-parallel engine consumes.
+    Vectorised: :func:`numpy.packbits` lays each column out as little-
+    endian bytes and ``int.from_bytes`` lifts them to Python bigints,
+    so the Python-level work is one cheap call per column instead of
+    one branch per (pattern, column) pair.
+
+    Returns ``(column -> word, mask)`` with ``mask = (1 << n_patterns)
+    - 1``.
+    """
+    m = np.asarray(matrix)
+    if m.ndim != 2:
+        raise SimulationError("pack_matrix needs an (n_patterns, n_cols) matrix")
+    n_pat, n_cols = m.shape
+    mask = (1 << n_pat) - 1
+    if n_pat == 0 or n_cols == 0:
+        return {c: 0 for c in range(n_cols)}, mask
+    bits = (m != 0).astype(np.uint8, copy=False)
+    # (ceil(n_pat / 8), n_cols): byte k of a column covers patterns
+    # 8k..8k+7, bit p-within-byte = pattern p (little bit order).
+    col_bytes = np.packbits(bits, axis=0, bitorder="little").T
+    col_bytes = np.ascontiguousarray(col_bytes)
+    from_bytes = int.from_bytes
+    return (
+        {c: from_bytes(col_bytes[c].tobytes(), "little") for c in range(n_cols)},
+        mask,
+    )
 
 
 class LogicSim:

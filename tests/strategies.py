@@ -9,6 +9,7 @@ fixtures and the SOC generator's idioms.
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import strategies as st
 
 from repro.netlist import Netlist
@@ -64,3 +65,27 @@ def random_netlist(
             pos=(float(i), 10.0),
         )
     return nl
+
+
+@st.composite
+def pattern_matrix(
+    draw,
+    n_flops: int,
+    min_patterns: int = 1,
+    max_patterns: int = 96,
+) -> np.ndarray:
+    """A random ``(n_patterns, n_flops)`` 0/1 scan-load matrix.
+
+    Pattern counts deliberately straddle machine-word lane boundaries
+    (1..96 against 64-bit lanes) so batched consumers are exercised on
+    partial, exact and multi-word lane splits.
+    """
+    n_patterns = draw(st.integers(min_patterns, max_patterns))
+    bits = draw(
+        st.lists(
+            st.integers(0, 1),
+            min_size=n_patterns * n_flops,
+            max_size=n_patterns * n_flops,
+        )
+    )
+    return np.array(bits, dtype=np.uint8).reshape(n_patterns, n_flops)

@@ -83,7 +83,7 @@ class TestDiagnosis:
             design.netlist.flops[fi].d for _p, fi in syndrome
         }
         for cand in result.candidates:
-            _g, captures = diagnoser.fsim._cone(cand.fault.net)
+            _g, captures = diagnoser.fsim.cone_of(cand.fault.net)
             assert failing_dnets & set(captures)
 
     def test_scores_sorted_descending(self, setup):
