@@ -1,0 +1,61 @@
+"""Overhead of the fault-tolerant execution layer.
+
+The resilient per-chunk path (futures, deadlines, retry bookkeeping)
+replaced the bare ``pool.map`` under every parallel hot loop, so its
+steady-state cost on a *healthy* pool must be noise.  This bench grades
+one SCAP batch three ways — serial reference, resilient pool, and the
+resilient pool surviving an injected worker kill — and reports the
+clean-pool overhead and the price of one recovery.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import ScapCalculator
+from repro.perf import chaos
+from repro.perf.resilient import execution_policy, last_report
+
+
+def test_resilient_overhead_and_recovery_cost(benchmark, tiny_study):
+    design = tiny_study.design
+    domain = tiny_study.domain
+    rng = np.random.default_rng(17)
+    matrix = rng.integers(0, 2, size=(192, design.netlist.n_flops))
+
+    serial_calc = ScapCalculator(design, domain)
+    t0 = time.perf_counter()
+    reference = serial_calc.profile_patterns(matrix)
+    serial_s = time.perf_counter() - t0
+
+    def clean_parallel():
+        return ScapCalculator(design, domain).profile_patterns(
+            matrix, n_workers=2
+        )
+
+    clean = benchmark.pedantic(clean_parallel, rounds=1, iterations=1)
+    clean_s = last_report().elapsed_s
+    assert clean == reference
+
+    chaos_calc = ScapCalculator(design, domain)
+    spec = chaos.ChaosSpec(kill={0: (0,)})
+    t0 = time.perf_counter()
+    with chaos.inject(spec), execution_policy(
+        backoff_base_s=0.001, jitter=0.0
+    ):
+        survived = chaos_calc.profile_patterns(matrix, n_workers=2)
+    chaos_s = time.perf_counter() - t0
+    assert survived == reference
+    report = last_report()
+    assert report.pool_rebuilds >= 1 and not report.serial_fallback
+
+    print()
+    print(
+        f"SCAP grading of {matrix.shape[0]} patterns: serial "
+        f"{serial_s*1000:.0f} ms, resilient pool {clean_s*1000:.0f} ms "
+        f"clean, {chaos_s*1000:.0f} ms surviving one SIGKILL "
+        f"({report.pool_rebuilds} rebuild(s), "
+        f"{report.total_retries} retried chunk attempt(s))"
+    )

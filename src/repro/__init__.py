@@ -24,29 +24,43 @@ from .core import (
     NoiseAwarePatternGenerator,
     derive_scap_thresholds,
     ir_scaled_endpoint_comparison,
+    run_noise_tolerant_flow,
     validate_pattern_set,
 )
-from .perf import PatternProfileCache, pool_map
+from .perf import (
+    PatternProfileCache,
+    RetryPolicy,
+    execution_policy,
+    pool_map,
+    resilient_map,
+)
 from .power import PatternPowerProfile, ScapCalculator
+from .reporting import CheckpointStore, RunReport
 from .soc import SocDesign, build_turbo_eagle
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CaseStudy",
+    "CheckpointStore",
     "ConventionalFlow",
     "ElectricalEnv",
     "K_VOLT",
     "NoiseAwarePatternGenerator",
     "PatternPowerProfile",
     "PatternProfileCache",
+    "RetryPolicy",
+    "RunReport",
     "ScapCalculator",
     "SocDesign",
     "VDD_NOMINAL",
     "build_turbo_eagle",
     "derive_scap_thresholds",
+    "execution_policy",
     "ir_scaled_endpoint_comparison",
     "pool_map",
+    "resilient_map",
+    "run_noise_tolerant_flow",
     "validate_pattern_set",
     "__version__",
 ]

@@ -7,9 +7,15 @@ Commands
 ``atpg``        generate patterns and optionally write them as STIL,
 ``scap``        screen a STIL pattern file against SCAP thresholds,
 ``irmap``       print the dynamic IR-drop map of one pattern,
-``floorplan``   print the synthetic SOC floorplan.
+``floorplan``   print the synthetic SOC floorplan,
+``flow``        run the staged noise-tolerant flow with checkpoint/resume.
 
 Every command accepts ``--scale`` (tiny/small/bench/full) and ``--seed``.
+``casestudy`` and ``export`` additionally take ``--checkpoint DIR`` to
+persist (and on rerun reuse) intermediate flow/validation results;
+``flow`` adds ``--stop-after``, ``--no-resume`` and ``--report`` for
+deliberate interruption, fresh restarts and machine-readable run
+reports.
 """
 
 from __future__ import annotations
@@ -28,7 +34,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def _study(args) -> CaseStudy:
-    return CaseStudy(scale=args.scale, seed=args.seed)
+    return CaseStudy(
+        scale=args.scale, seed=args.seed,
+        checkpoint_dir=getattr(args, "checkpoint", None),
+    )
 
 
 def cmd_casestudy(args) -> int:
@@ -133,6 +142,39 @@ def cmd_floorplan(args) -> int:
     return 0
 
 
+def cmd_flow(args) -> int:
+    from .core import run_noise_tolerant_flow
+    from .reporting import RUN_FAILED
+    from .soc import build_turbo_eagle
+
+    design = build_turbo_eagle(scale=args.scale, seed=args.seed)
+    result, report = run_noise_tolerant_flow(
+        design,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+        max_patterns=args.max_patterns,
+        stop_after_stage=args.stop_after,
+        report_path=args.report,
+        seed=1,
+    )
+    for stage in report.stages:
+        origin = " (from checkpoint)" if stage.from_checkpoint else ""
+        print(f"  {stage.name}: {stage.status}{origin}")
+    print(f"flow status: {report.status}")
+    if report.error:
+        print(f"error: {report.error}", file=sys.stderr)
+    if result is not None:
+        print(
+            f"{result.n_patterns} patterns, "
+            f"test coverage {result.test_coverage:.1%}"
+        )
+    if args.report:
+        print(f"wrote run report to {args.report}")
+    # A deliberate --stop-after partial run exits 0; only a run that
+    # actually failed (or produced nothing) signals an error.
+    return 3 if report.status == RUN_FAILED or report.error else 0
+
+
 def cmd_export(args) -> int:
     from .reporting import export_case_study
 
@@ -153,6 +195,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("casestudy", help="run the full reproduction")
     _add_common(p)
+    p.add_argument("--checkpoint", help="persist/reuse results in DIR")
     p.set_defaults(fn=cmd_casestudy)
 
     p = sub.add_parser("table", help="print one paper table")
@@ -186,7 +229,22 @@ def main(argv=None) -> int:
     _add_common(p)
     p.add_argument("--out", default="artifacts",
                    help="output directory (default: artifacts/)")
+    p.add_argument("--checkpoint", help="persist/reuse results in DIR")
     p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser(
+        "flow", help="staged noise-tolerant flow with checkpoint/resume"
+    )
+    _add_common(p)
+    p.add_argument("--checkpoint", help="stage checkpoint directory")
+    p.add_argument("--no-resume", dest="resume", action="store_false",
+                   help="ignore existing checkpoints and start fresh")
+    p.add_argument("--stop-after", type=int, metavar="N",
+                   help="deliberately stop after stage index N")
+    p.add_argument("--max-patterns", type=int,
+                   help="total pattern budget across stages")
+    p.add_argument("--report", help="write the RunReport JSON here")
+    p.set_defaults(fn=cmd_flow)
 
     args = parser.parse_args(argv)
     return args.fn(args)

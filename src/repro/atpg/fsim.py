@@ -273,6 +273,7 @@ class FaultSimulator:
         lane_width: int = DEFAULT_LANE_WIDTH,
         drop: bool = False,
         n_workers: int = 1,
+        exec_policy=None,
     ) -> Dict[TransitionFault, int]:
         """Fault-simulate an arbitrarily large batch in fixed-width lanes.
 
@@ -299,6 +300,11 @@ class FaultSimulator:
             partitions (each worker rebuilds the simulator once, then
             grades its chunk against every lane).  ``<= 1`` stays
             serial in-process.
+        exec_policy:
+            Optional :class:`~repro.perf.resilient.RetryPolicy` for
+            the pooled path (per-chunk timeouts, retries, crash
+            recovery).  ``None`` uses the ambient default — see
+            :func:`repro.perf.resilient.execution_policy`.
         """
         v1_matrix = np.asarray(v1_matrix)
         if v1_matrix.ndim != 2:
@@ -319,6 +325,7 @@ class FaultSimulator:
                 _fsim_worker_task,
                 chunks,
                 n_workers=eff,
+                policy=exec_policy,
                 initializer=_fsim_worker_init,
                 initargs=(
                     self.netlist,

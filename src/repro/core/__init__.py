@@ -17,6 +17,7 @@ from .flow import (
     FlowResult,
     NoiseAwarePatternGenerator,
     STAGE_PLAN_TURBO_EAGLE,
+    run_noise_tolerant_flow,
 )
 from .validation import ScapViolation, ValidationReport, validate_pattern_set
 from .irscale import IrScaledComparison, ir_scaled_endpoint_comparison
@@ -62,6 +63,7 @@ __all__ = [
     "ValidationReport",
     "derive_scap_thresholds",
     "ir_scaled_endpoint_comparison",
+    "run_noise_tolerant_flow",
     "schedule_block_tests",
     "tasks_from_flow",
     "validate_pattern_set",

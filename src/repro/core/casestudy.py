@@ -21,6 +21,7 @@ from ..pgrid.grid import GridModel
 from ..perf.cache import PatternProfileCache
 from ..pgrid.statistical_ir import StatisticalIrRow, statistical_ir_analysis
 from ..power.calculator import ScapCalculator
+from ..reporting.checkpoint import CheckpointStore, config_fingerprint
 from ..soc.generator import build_turbo_eagle
 from .flow import ConventionalFlow, FlowResult, NoiseAwarePatternGenerator
 from .irscale import IrScaledComparison, ir_scaled_endpoint_comparison
@@ -42,10 +43,20 @@ class CaseStudy:
         backtrack_limit: int = 100,
         target_statistical_drop_v: float = 0.15,
         n_workers: int = 1,
+        checkpoint_dir: Optional[str] = None,
     ):
         """``n_workers`` fans fault simulation and SCAP grading out
         across a process pool (see :mod:`repro.perf`); results are
-        bit-identical to the serial default."""
+        bit-identical to the serial default.
+
+        ``checkpoint_dir`` makes the heavy stages durable: flows,
+        per-stage ATPG results and SCAP validations persist there (via
+        :class:`repro.reporting.CheckpointStore`), so a crashed or
+        interrupted reproduction resumes instead of recomputing.  The
+        store is fingerprinted with every constructor parameter that
+        changes results; pointing it at a directory from a different
+        configuration ignores the stale stages.
+        """
         self.design = build_turbo_eagle(scale, seed)
         self.domain = self.design.dominant_domain()
         self.engine = engine
@@ -55,6 +66,19 @@ class CaseStudy:
         self.grid_nx = grid_nx
         self.grid_ny = grid_ny
         self.target_statistical_drop_v = target_statistical_drop_v
+        self.checkpoint_dir = checkpoint_dir
+        self._checkpoint: Optional[CheckpointStore] = None
+        if checkpoint_dir is not None:
+            fingerprint = config_fingerprint(
+                scale=scale,
+                seed=seed,
+                engine=engine,
+                grid=(grid_nx, grid_ny),
+                atpg_seed=atpg_seed,
+                backtrack_limit=backtrack_limit,
+                target_statistical_drop_v=target_statistical_drop_v,
+            )
+            self._checkpoint = CheckpointStore(checkpoint_dir, fingerprint)
         self._model: Optional[GridModel] = None
         self._calculator: Optional[ScapCalculator] = None
         self._thresholds: Optional[Dict[str, float]] = None
@@ -94,44 +118,90 @@ class CaseStudy:
     # ------------------------------------------------------------------
     # flows
     # ------------------------------------------------------------------
+    def _stage_key(self, kind: str, name: str, max_patterns=None) -> str:
+        key = f"{kind}_{name}"
+        if max_patterns is not None:
+            key += f"_max{max_patterns}"
+        return key
+
     def conventional(self, max_patterns: Optional[int] = None) -> FlowResult:
-        """The random-fill baseline flow (cached)."""
+        """The random-fill baseline flow (cached + checkpointed)."""
         if "conventional" not in self._flows:
-            flow = ConventionalFlow(
-                self.design,
-                self.domain,
-                seed=self.atpg_seed,
-                backtrack_limit=self.backtrack_limit,
-                n_workers=self.n_workers,
-            )
-            self._flows["conventional"] = flow.run(max_patterns=max_patterns)
+            key = self._stage_key("flow", "conventional", max_patterns)
+            if self._checkpoint is not None and self._checkpoint.has(key):
+                self._flows["conventional"] = self._checkpoint.load(key)
+            else:
+                flow = ConventionalFlow(
+                    self.design,
+                    self.domain,
+                    seed=self.atpg_seed,
+                    backtrack_limit=self.backtrack_limit,
+                    n_workers=self.n_workers,
+                )
+                result = flow.run(max_patterns=max_patterns)
+                if self._checkpoint is not None:
+                    self._checkpoint.save(
+                        key, result, meta={"patterns": result.n_patterns}
+                    )
+                self._flows["conventional"] = result
         return self._flows["conventional"]
 
     def staged(self, max_patterns: Optional[int] = None) -> FlowResult:
-        """The paper's staged fill-0 noise-aware flow (cached)."""
+        """The paper's staged fill-0 noise-aware flow (cached +
+        checkpointed, both whole-flow and per stage)."""
         if "staged" not in self._flows:
-            flow = NoiseAwarePatternGenerator(
-                self.design,
-                self.domain,
-                seed=self.atpg_seed,
-                backtrack_limit=self.backtrack_limit,
-                n_workers=self.n_workers,
-            )
-            self._flows["staged"] = flow.run(max_patterns=max_patterns)
+            key = self._stage_key("flow", "staged", max_patterns)
+            if self._checkpoint is not None and self._checkpoint.has(key):
+                self._flows["staged"] = self._checkpoint.load(key)
+            else:
+                flow = NoiseAwarePatternGenerator(
+                    self.design,
+                    self.domain,
+                    seed=self.atpg_seed,
+                    backtrack_limit=self.backtrack_limit,
+                    n_workers=self.n_workers,
+                )
+                # Stage-level checkpoints only for the unbounded flow:
+                # stage keys do not encode a pattern budget, and mixing
+                # budgets in one store would alias different results.
+                stage_checkpoint = (
+                    self._checkpoint if max_patterns is None else None
+                )
+                result = flow.run(
+                    max_patterns=max_patterns, checkpoint=stage_checkpoint
+                )
+                if self._checkpoint is not None:
+                    self._checkpoint.save(
+                        key, result, meta={"patterns": result.n_patterns}
+                    )
+                self._flows["staged"] = result
         return self._flows["staged"]
 
     def validation(self, flow_name: str) -> ValidationReport:
-        """SCAP screening of one flow's pattern set (cached)."""
+        """SCAP screening of one flow's pattern set (cached +
+        checkpointed per chunk of patterns)."""
         if flow_name not in self._validations:
             flow = (
                 self.conventional()
                 if flow_name == "conventional"
                 else self.staged()
             )
-            self._validations[flow_name] = validate_pattern_set(
-                self.calculator, flow.pattern_set, self.thresholds_mw,
-                n_workers=self.n_workers,
-            )
+            key = self._stage_key("validation", flow_name)
+            if self._checkpoint is not None and self._checkpoint.has(key):
+                self._validations[flow_name] = self._checkpoint.load(key)
+            else:
+                report = validate_pattern_set(
+                    self.calculator, flow.pattern_set, self.thresholds_mw,
+                    n_workers=self.n_workers,
+                    checkpoint=self._checkpoint,
+                    checkpoint_key=key,
+                )
+                if self._checkpoint is not None:
+                    self._checkpoint.save(
+                        key, report,
+                        meta={"violations": len(report.violations)},
+                    )
+                self._validations[flow_name] = report
         return self._validations[flow_name]
 
     # ------------------------------------------------------------------

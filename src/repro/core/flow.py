@@ -27,6 +27,14 @@ from ..atpg.faults import TransitionFault, build_fault_universe, collapse_faults
 from ..atpg.fsim import FaultSimulator, first_detection_index
 from ..atpg.patterns import PatternSet
 from ..errors import ConfigError
+from ..perf.resilient import collect_reports
+from ..reporting.checkpoint import CheckpointStore, config_fingerprint
+from ..reporting.runreport import (
+    RUN_COMPLETED,
+    RUN_FAILED,
+    RUN_PARTIAL,
+    RunReport,
+)
 from ..soc.design import SocDesign
 
 #: The case study's staging: quiet blocks, then B6, then B5 alone.
@@ -178,70 +186,130 @@ class NoiseAwarePatternGenerator:
             **engine_kwargs,
         )
 
-    def run(self, max_patterns: Optional[int] = None) -> FlowResult:
-        netlist = self.design.netlist
+    def stage_name(self, index: int) -> str:
+        """Stable stage identifier (also the checkpoint key)."""
+        return f"stage{index}_{'+'.join(self.stage_plan[index])}"
+
+    def run(
+        self,
+        max_patterns: Optional[int] = None,
+        checkpoint: Optional[CheckpointStore] = None,
+        run_report: Optional[RunReport] = None,
+        stop_after_stage: Optional[int] = None,
+    ) -> FlowResult:
+        """Generate the staged pattern set.
+
+        With a *checkpoint* store, every completed stage persists its
+        patterns, detection words, cross-step grading and post-stage
+        RNG state; a later call over the same store loads those stages
+        and recomputes nothing, producing a pattern set bit-identical
+        to an uninterrupted run.  (The store's fingerprint must cover
+        the flow configuration — :func:`run_noise_tolerant_flow` wires
+        that up.)  *run_report* collects per-stage records and the
+        execution layer's failure/retry log; *stop_after_stage* ends
+        the run after that many leading stages (a deliberate
+        interruption, used to exercise resume paths).
+        """
         combined = PatternSet(self.domain, fill=self.fill)
         step_results: List[AtpgResult] = []
         boundaries: List[int] = []
         cross_detected: Dict[TransitionFault, int] = {}
-        fsim = FaultSimulator(netlist, self.domain)
+        fsim = FaultSimulator(self.design.netlist, self.domain)
         next_index = 0
+        stopped = False
 
-        for step in self.stage_plan:
-            universe = build_fault_universe(netlist, blocks=step)
-            reps, _ = collapse_faults(netlist, universe)
-            targets: List[TransitionFault] = list(reps)
-            # Fault-grade the patterns generated so far against this
-            # step's targets (standard practice before a follow-up ATPG
-            # run): anything fortuitously covered is not re-targeted.
-            if combined.patterns and targets:
-                graded = _grade_existing(
-                    fsim, combined, targets,
-                    lane_width=self.grade_lane_width,
-                    n_workers=self.n_workers,
-                )
-                cross_detected.update(graded)
-                targets = [f for f in targets if f not in graded]
-            boundaries.append(next_index)
-            budget = None
-            if max_patterns is not None:
-                budget = max(0, max_patterns - len(combined))
-                if budget == 0:
-                    break
-            forced = None
-            if self.isolate_untargeted:
-                # The isolation DFT the paper wished it had: hold every
-                # untargeted block's load-enables at 0 as an ATPG
-                # constraint, so not even care bits can wake them.
-                forced = {}
-                for block in self.design.blocks():
-                    if block in step:
-                        continue
-                    for fi in self.design.enable_flops_in_block(block):
-                        forced[fi] = 0
-            block_fill = None
-            if self.fill == "per-block":
-                # The paper's "more ideal scenario": random fill inside
-                # the blocks being targeted (fortuitous detection), 0
-                # everywhere else (quiet).  Power-critical blocks stay
-                # on fill-0 even while targeted.
-                block_fill = {
-                    block: "random"
-                    for block in step
-                    if block not in self.power_critical_blocks
-                }
-            result = self.engine.run(
-                faults=targets,
-                fill=self.fill,
-                max_patterns=budget,
-                start_index=next_index,
-                forced_bits=forced,
-                block_fill=block_fill,
-            )
+        for idx, step in enumerate(self.stage_plan):
+            name = self.stage_name(idx)
+            if stop_after_stage is not None and idx >= stop_after_stage:
+                stopped = True
+                if run_report is not None:
+                    for later in range(idx, len(self.stage_plan)):
+                        run_report.record_stage(
+                            self.stage_name(later), "pending"
+                        )
+                break
+
+            if checkpoint is not None and checkpoint.has(name):
+                payload = checkpoint.load(name)
+                for pattern in payload["patterns"]:
+                    combined.append(pattern)
+                cross_detected.update(payload["graded"])
+                boundaries.append(payload["boundary"])
+                step_results.append(payload["result"])
+                next_index = payload["next_index"]
+                # The engine RNG advanced while generating this stage;
+                # replaying its post-stage state keeps every later
+                # stage bit-identical to an uninterrupted run.
+                if payload.get("rng_state") is not None:
+                    self.engine.rng.bit_generator.state = payload["rng_state"]
+                if run_report is not None:
+                    run_report.record_stage(
+                        name, "completed", from_checkpoint=True,
+                        detail={"patterns": len(payload["patterns"])},
+                    )
+                continue
+
+            try:
+                with collect_reports() as exec_reports:
+                    outcome = self._run_stage(
+                        fsim, step, combined, next_index, max_patterns
+                    )
+            except Exception as exc:
+                if run_report is not None:
+                    record = run_report.record_stage(
+                        name, "failed", detail={"error": repr(exc)}
+                    )
+                    for later in range(idx + 1, len(self.stage_plan)):
+                        run_report.record_stage(
+                            self.stage_name(later), "pending"
+                        )
+                    for exec_report in exec_reports:
+                        run_report.absorb_execution_report(name, exec_report)
+                    record.detail["exec_reports"] = len(exec_reports)
+                raise
+
+            graded, result, boundary = outcome
+            cross_detected.update(graded)
+            if result is None:  # pattern budget exhausted
+                break
             for pattern in result.pattern_set:
                 combined.append(pattern)
             next_index = len(combined)
+            boundaries.append(boundary)
             step_results.append(result)
+
+            if checkpoint is not None:
+                checkpoint.save(
+                    name,
+                    {
+                        "patterns": list(result.pattern_set),
+                        "result": result,
+                        "graded": graded,
+                        "boundary": boundary,
+                        "next_index": next_index,
+                        "rng_state": self.engine.rng.bit_generator.state,
+                    },
+                    meta={
+                        "blocks": list(step),
+                        "patterns": len(result.pattern_set),
+                        "detected": len(result.detected),
+                    },
+                )
+            if run_report is not None:
+                run_report.record_stage(
+                    name, "completed",
+                    detail={
+                        "blocks": list(step),
+                        "patterns": len(result.pattern_set),
+                        "detected": len(result.detected),
+                        "cross_detected": len(graded),
+                    },
+                )
+                for exec_report in exec_reports:
+                    run_report.absorb_execution_report(name, exec_report)
+
+        if run_report is not None and stopped:
+            run_report.status = RUN_PARTIAL
 
         return FlowResult(
             name="noise_aware_staged",
@@ -253,6 +321,153 @@ class NoiseAwarePatternGenerator:
             step_boundaries=boundaries[: len(step_results)],
             cross_detected=cross_detected,
         )
+
+    def _run_stage(
+        self,
+        fsim: FaultSimulator,
+        step: Tuple[str, ...],
+        combined: PatternSet,
+        next_index: int,
+        max_patterns: Optional[int],
+    ) -> Tuple[Dict[TransitionFault, int], Optional[AtpgResult], int]:
+        """One stage: grade existing patterns, target the rest.
+
+        Returns ``(cross-graded faults, ATPG result, stage boundary)``;
+        the result is ``None`` when the pattern budget is already
+        exhausted (the grading still counts toward cross-detection,
+        matching the pre-checkpoint behaviour).
+        """
+        netlist = self.design.netlist
+        universe = build_fault_universe(netlist, blocks=step)
+        reps, _ = collapse_faults(netlist, universe)
+        targets: List[TransitionFault] = list(reps)
+        graded: Dict[TransitionFault, int] = {}
+        # Fault-grade the patterns generated so far against this
+        # step's targets (standard practice before a follow-up ATPG
+        # run): anything fortuitously covered is not re-targeted.
+        if combined.patterns and targets:
+            graded = _grade_existing(
+                fsim, combined, targets,
+                lane_width=self.grade_lane_width,
+                n_workers=self.n_workers,
+            )
+            targets = [f for f in targets if f not in graded]
+        budget = None
+        if max_patterns is not None:
+            budget = max(0, max_patterns - len(combined))
+            if budget == 0:
+                return graded, None, next_index
+        forced = None
+        if self.isolate_untargeted:
+            # The isolation DFT the paper wished it had: hold every
+            # untargeted block's load-enables at 0 as an ATPG
+            # constraint, so not even care bits can wake them.
+            forced = {}
+            for block in self.design.blocks():
+                if block in step:
+                    continue
+                for fi in self.design.enable_flops_in_block(block):
+                    forced[fi] = 0
+        block_fill = None
+        if self.fill == "per-block":
+            # The paper's "more ideal scenario": random fill inside
+            # the blocks being targeted (fortuitous detection), 0
+            # everywhere else (quiet).  Power-critical blocks stay
+            # on fill-0 even while targeted.
+            block_fill = {
+                block: "random"
+                for block in step
+                if block not in self.power_critical_blocks
+            }
+        result = self.engine.run(
+            faults=targets,
+            fill=self.fill,
+            max_patterns=budget,
+            start_index=next_index,
+            forced_bits=forced,
+            block_fill=block_fill,
+        )
+        return graded, result, next_index
+
+
+def run_noise_tolerant_flow(
+    design: SocDesign,
+    domain: Optional[str] = None,
+    *,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = True,
+    max_patterns: Optional[int] = None,
+    stop_after_stage: Optional[int] = None,
+    strict: bool = False,
+    report_path: Optional[str] = None,
+    **generator_kwargs,
+) -> Tuple[Optional[FlowResult], RunReport]:
+    """The staged noise-aware flow as a fault-tolerant, resumable run.
+
+    This is the production entry point around
+    :class:`NoiseAwarePatternGenerator`: per-stage results persist to
+    *checkpoint_dir* (guarded by a fingerprint of the design + flow
+    configuration, so a stale directory is never resumed), a rerun
+    skips completed stages, and an unrecoverable error returns a
+    structured partial :class:`~repro.reporting.runreport.RunReport`
+    instead of a bare traceback.
+
+    Returns ``(flow_result, run_report)``.  ``flow_result`` is ``None``
+    when the run failed before producing a usable pattern set; a
+    deliberate *stop_after_stage* interruption returns the partial
+    pattern set with ``report.status == "partial"``.  With
+    ``strict=True`` the underlying exception propagates after the
+    report is finalised (and written to *report_path*, if given).
+    """
+    generator = NoiseAwarePatternGenerator(
+        design, domain, **generator_kwargs
+    )
+    checkpoint = None
+    if checkpoint_dir is not None:
+        netlist = design.netlist
+        fingerprint = config_fingerprint(
+            design=(
+                netlist.name, netlist.n_nets, netlist.n_gates,
+                netlist.n_flops,
+            ),
+            domain=generator.domain,
+            stage_plan=tuple(generator.stage_plan),
+            fill=generator.fill,
+            isolate=generator.isolate_untargeted,
+            power_critical=generator.power_critical_blocks,
+            max_patterns=max_patterns,
+            engine_seed=generator.engine.rng.bit_generator.state["state"],
+        )
+        checkpoint = CheckpointStore(checkpoint_dir, fingerprint)
+        if not resume:
+            checkpoint.clear()
+
+    report = RunReport(
+        flow="noise_aware_staged", checkpoint_dir=checkpoint_dir
+    )
+    flow_result: Optional[FlowResult] = None
+    try:
+        flow_result = generator.run(
+            max_patterns=max_patterns,
+            checkpoint=checkpoint,
+            run_report=report,
+            stop_after_stage=stop_after_stage,
+        )
+        if report.status != RUN_PARTIAL:
+            report.status = RUN_COMPLETED
+    except Exception as exc:
+        report.status = (
+            RUN_PARTIAL if report.completed_stages() else RUN_FAILED
+        )
+        report.error = repr(exc)
+        if report_path is not None:
+            report.save(report_path)
+        if strict:
+            raise
+        return None, report
+    if report_path is not None:
+        report.save(report_path)
+    return flow_result, report
 
 
 def _grade_existing(

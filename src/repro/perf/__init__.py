@@ -10,6 +10,14 @@ those hot paths cheap:
   per-worker one-time initialisation (rebuild the netlist/simulator
   once per worker, not once per task), chunk helpers, ordered result
   merge and a graceful serial fallback,
+* :mod:`~repro.perf.resilient` — the fault-tolerant execution layer
+  under :func:`~repro.perf.pool.pool_map`: per-chunk futures, bounded
+  retries with backoff, per-task timeouts with hung-worker
+  cancellation, crash isolation onto rebuilt pools, and a structured
+  :class:`~repro.perf.resilient.ExecutionReport` of what was survived,
+* :mod:`~repro.perf.chaos` — deterministic fault injection (kill /
+  hang / transient-fail chosen workers on chosen chunks) so every
+  recovery path above is exercised by tests rather than trusted,
 * :mod:`~repro.perf.cache` — a digest-keyed pattern-profile cache so
   staged flows never re-simulate an identical launch state.
 
@@ -19,6 +27,7 @@ The consumers are :meth:`repro.atpg.fsim.FaultSimulator.run_batch`
 (batched SCAP grading).
 """
 
+from . import chaos
 from .cache import PatternProfileCache, digest_key
 from .pool import (
     available_workers,
@@ -27,13 +36,32 @@ from .pool import (
     pool_map,
     resolve_workers,
 )
+from .resilient import (
+    ChunkFailure,
+    ExecutionReport,
+    RetryPolicy,
+    collect_reports,
+    default_policy,
+    execution_policy,
+    last_report,
+    resilient_map,
+)
 
 __all__ = [
+    "ChunkFailure",
+    "ExecutionReport",
     "PatternProfileCache",
+    "RetryPolicy",
     "available_workers",
+    "chaos",
     "chunk_slices",
     "chunked",
+    "collect_reports",
+    "default_policy",
     "digest_key",
+    "execution_policy",
+    "last_report",
     "pool_map",
+    "resilient_map",
     "resolve_workers",
 ]

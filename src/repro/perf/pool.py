@@ -8,13 +8,21 @@ setup cost, so :func:`pool_map` takes an *initializer* that runs once
 per worker process and stashes the rebuilt context in a module-level
 slot; tasks then only ship their small work item.
 
-Fallback rules (all produce results identical to the pool path):
+Execution is delegated to :func:`repro.perf.resilient.resilient_map`:
+per-chunk futures with bounded retries, per-task timeouts, crash
+isolation onto rebuilt pools, and a last-resort serial fallback that is
+reserved for genuine infrastructure failures —
 
 * ``n_workers <= 1`` (or one work item, or zero) runs serially in the
   calling process, invoking the initializer locally first;
-* platforms whose best start method cannot run the tasks (pickling
-  failures, a broken pool, missing ``fork``/``spawn`` support) degrade
-  to the same serial path with a warning instead of raising.
+* platforms whose best start method cannot ship the *callables*
+  (pickling failures, missing ``fork``/``spawn`` support, a pool that
+  cannot be created or keeps dying) degrade to the same serial path
+  with a warning instead of raising.
+
+Exceptions raised *by the task itself* are real bugs: they propagate as
+:class:`~repro.errors.ExecutionError` with the original exception
+chained, and never trigger a silent serial re-run.
 
 Results are always returned in input order.
 """
@@ -23,10 +31,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
-import warnings
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 
@@ -77,17 +81,6 @@ def _mp_context():
     return multiprocessing.get_context("spawn")
 
 
-def _serial_map(
-    task: Callable[[Any], Any],
-    items: Sequence[Any],
-    initializer: Optional[Callable[..., None]],
-    initargs: Tuple,
-) -> List[Any]:
-    if initializer is not None:
-        initializer(*initargs)
-    return [task(item) for item in items]
-
-
 def pool_map(
     task: Callable[[Any], Any],
     items: Sequence[Any],
@@ -95,35 +88,38 @@ def pool_map(
     n_workers: Optional[int] = None,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Tuple = (),
+    policy=None,
+    report=None,
 ) -> List[Any]:
     """Map *task* over *items* across worker processes, in order.
 
     *task* and *initializer* must be module-level callables (picklable
     by reference); the initializer runs once per worker before any task
-    and typically rebuilds simulators into a module global.  When the
-    pool cannot be used (``n_workers <= 1``, a single item, or a
-    platform/pickling failure) the same map runs serially in-process,
-    so callers never need a second code path.
+    and typically rebuilds simulators into a module global.
+
+    This is a thin front door onto
+    :func:`repro.perf.resilient.resilient_map`: crashed workers requeue
+    only their in-flight chunks, hung chunks are cancelled after the
+    policy's ``timeout_s``, transient task failures retry with backoff,
+    and only genuine infrastructure failure degrades to serial.  A task
+    exception (``TypeError`` in your kernel, a malformed item) is *not*
+    infrastructure: it propagates as
+    :class:`~repro.errors.ExecutionError` with the original exception
+    chained, instead of silently doubling runtime on a serial re-run.
+
+    *policy* (a :class:`~repro.perf.resilient.RetryPolicy`) and
+    *report* (an :class:`~repro.perf.resilient.ExecutionReport` filled
+    in place) are optional; the ambient default policy is used when
+    *policy* is None.
     """
-    items = list(items)
-    if not items:
-        return []
-    eff = resolve_workers(n_workers, len(items))
-    if eff <= 1:
-        return _serial_map(task, items, initializer, initargs)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=eff,
-            mp_context=_mp_context(),
-            initializer=initializer,
-            initargs=initargs,
-        ) as pool:
-            return list(pool.map(task, items))
-    except (BrokenProcessPool, OSError, ValueError, TypeError,
-            AttributeError, ImportError, pickle.PicklingError) as exc:
-        warnings.warn(
-            f"process pool unavailable ({exc!r}); falling back to serial",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return _serial_map(task, items, initializer, initargs)
+    from .resilient import resilient_map
+
+    return resilient_map(
+        task,
+        items,
+        n_workers=n_workers,
+        initializer=initializer,
+        initargs=initargs,
+        policy=policy,
+        report=report,
+    )

@@ -210,6 +210,7 @@ class ScapCalculator:
         lane_width: int = MAX_LANE_WIDTH,
         protocol: str = "loc",
         v2_matrix: Optional[np.ndarray] = None,
+        exec_policy=None,
     ) -> List[PatternPowerProfile]:
         """Grade a whole pattern batch; profiles in input order.
 
@@ -231,6 +232,10 @@ class ScapCalculator:
         protocol:
             ``"loc"`` (default), ``"los"``, or ``"es"`` (pass
             *v2_matrix*).
+        exec_policy:
+            Optional :class:`~repro.perf.resilient.RetryPolicy` for
+            the pooled path.  ``None`` uses the ambient default — see
+            :func:`repro.perf.resilient.execution_policy`.
         """
         indices, matrix = _normalize_patterns(
             patterns, self.design.netlist.n_flops
@@ -280,7 +285,7 @@ class ScapCalculator:
             miss_v2 = v2_matrix[miss_rows] if v2_matrix is not None else None
             profiles = self._dispatch(
                 miss_indices, miss_matrix, protocol, miss_v2,
-                lane_width, n_workers,
+                lane_width, n_workers, exec_policy,
             )
             for row, profile in zip(miss_rows, profiles):
                 out[row] = profile
@@ -304,6 +309,7 @@ class ScapCalculator:
         v2_matrix: Optional[np.ndarray],
         lane_width: int,
         n_workers: int,
+        exec_policy=None,
     ) -> List[PatternPowerProfile]:
         eff = resolve_workers(n_workers, matrix.shape[0])
         if eff > 1 and not self._default_delays:
@@ -331,6 +337,7 @@ class ScapCalculator:
             _scap_worker_task,
             items,
             n_workers=eff,
+            policy=exec_policy,
             initializer=_scap_worker_init,
             initargs=(
                 self.design, self.domain, self.engine, self.vdd,

@@ -1,10 +1,26 @@
-"""Plain-text reporting helpers for tables and figure series."""
+"""Reporting: plain-text tables/series, artefact export, and the
+durable run state of long flows (stage checkpoints + run reports)."""
 
 from .tables import format_table
 from .series import series_to_csv, curve_to_csv
 from .artifacts import export_case_study
+from .checkpoint import CheckpointStore, config_fingerprint
+from .runreport import (
+    RUN_COMPLETED,
+    RUN_FAILED,
+    RUN_PARTIAL,
+    RunReport,
+    StageRecord,
+)
 
 __all__ = [
+    "CheckpointStore",
+    "RUN_COMPLETED",
+    "RUN_FAILED",
+    "RUN_PARTIAL",
+    "RunReport",
+    "StageRecord",
+    "config_fingerprint",
     "curve_to_csv",
     "export_case_study",
     "format_table",

@@ -1,0 +1,130 @@
+"""Structured outcome of a (possibly interrupted) multi-stage run.
+
+A long flow used to answer "what happened?" with either a full result
+or a bare traceback.  :class:`RunReport` is the third answer: a
+machine-readable record of which stages completed (and whether they
+came from checkpoints), the per-chunk failure log and retry counts of
+the execution layer, and the error that stopped a partial run — enough
+to decide whether to resume, where to resume from, and what to page an
+operator about.  ``python -m repro flow --report out.json`` writes one,
+and CI uploads it as a build artifact for deliberately-interrupted
+example flows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Terminal statuses a run can end in.
+RUN_COMPLETED = "completed"
+RUN_PARTIAL = "partial"
+RUN_FAILED = "failed"
+
+
+@dataclass
+class StageRecord:
+    """One stage of the flow, as actually executed."""
+
+    name: str
+    status: str  # "completed" | "failed" | "pending"
+    #: True when the stage's result was loaded from a checkpoint
+    #: instead of recomputed.
+    from_checkpoint: bool = False
+    #: Free-form stage facts (pattern counts, boundaries, exec stats).
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class RunReport:
+    """What a flow run achieved, survived, and (maybe) died of."""
+
+    flow: str
+    status: str = RUN_COMPLETED
+    stages: List[StageRecord] = field(default_factory=list)
+    #: Per-chunk failure log aggregated from the execution layer
+    #: (dicts shaped like :class:`repro.perf.resilient.ChunkFailure`).
+    failures: List[Dict[str, Any]] = field(default_factory=list)
+    #: Retries consumed per stage name.
+    retries: Dict[str, int] = field(default_factory=dict)
+    checkpoint_dir: Optional[str] = None
+    #: Repr of the exception that ended a partial/failed run.
+    error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def completed_stages(self) -> List[str]:
+        return [s.name for s in self.stages if s.status == "completed"]
+
+    def resumed_stages(self) -> List[str]:
+        return [
+            s.name
+            for s in self.stages
+            if s.status == "completed" and s.from_checkpoint
+        ]
+
+    def pending_stages(self) -> List[str]:
+        return [s.name for s in self.stages if s.status == "pending"]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    # ------------------------------------------------------------------
+    def record_stage(
+        self,
+        name: str,
+        status: str,
+        *,
+        from_checkpoint: bool = False,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> StageRecord:
+        record = StageRecord(
+            name=name,
+            status=status,
+            from_checkpoint=from_checkpoint,
+            detail=detail or {},
+        )
+        self.stages.append(record)
+        return record
+
+    def absorb_execution_report(self, stage: str, exec_report) -> None:
+        """Fold one :class:`~repro.perf.resilient.ExecutionReport` in."""
+        if exec_report is None:
+            return
+        retries = exec_report.total_retries
+        if retries:
+            self.retries[stage] = self.retries.get(stage, 0) + retries
+        for failure in exec_report.failures:
+            entry = failure.to_dict()
+            entry["stage"] = stage
+            self.failures.append(entry)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "flow": self.flow,
+            "status": self.status,
+            "stages": [s.to_dict() for s in self.stages],
+            "completed_stages": self.completed_stages(),
+            "resumed_stages": self.resumed_stages(),
+            "pending_stages": self.pending_stages(),
+            "failures": list(self.failures),
+            "retries": dict(self.retries),
+            "total_retries": self.total_retries,
+            "checkpoint_dir": self.checkpoint_dir,
+            "error": self.error,
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True,
+                          default=str)
+
+    def save(self, path: str) -> str:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+        return path

@@ -57,3 +57,43 @@ class TestCli:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["floorplan", "--scale", "huge"])
+
+
+class TestFlowCli:
+    def test_flow_stop_resume_and_report(self, tmp_path, capsys):
+        import json
+
+        ck = str(tmp_path / "ck")
+        report1 = tmp_path / "partial.json"
+        assert main([
+            "flow", "--scale", "tiny", "--stop-after", "1",
+            "--checkpoint", ck, "--report", str(report1),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flow status: partial" in out
+        data = json.loads(report1.read_text())
+        assert data["status"] == "partial"
+        assert data["completed_stages"] and data["pending_stages"]
+
+        report2 = tmp_path / "full.json"
+        assert main([
+            "flow", "--scale", "tiny",
+            "--checkpoint", ck, "--report", str(report2),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "flow status: completed" in out
+        assert "(from checkpoint)" in out
+        data = json.loads(report2.read_text())
+        assert data["status"] == "completed"
+        assert data["resumed_stages"]  # stage 0 came from the checkpoint
+        assert not data["pending_stages"]
+
+    def test_flow_no_resume_recomputes(self, tmp_path, capsys):
+        ck = str(tmp_path / "ck")
+        assert main(["flow", "--scale", "tiny", "--checkpoint", ck]) == 0
+        capsys.readouterr()
+        assert main([
+            "flow", "--scale", "tiny", "--checkpoint", ck, "--no-resume",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(from checkpoint)" not in out

@@ -8,6 +8,7 @@ a full-cone interpreted fault simulation, and per-pattern profiling.
 
 from __future__ import annotations
 
+import os
 import warnings
 
 import numpy as np
@@ -17,7 +18,9 @@ from hypothesis import strategies as st
 
 from repro.atpg.faults import build_fault_universe, collapse_faults
 from repro.atpg.fsim import FaultSimulator, first_detection_index
+from repro.errors import ExecutionError, TransientError, WorkerCrashError
 from repro.netlist.cells import CELL_FUNCTIONS
+from repro.perf import chaos
 from repro.perf.cache import PatternProfileCache, digest_key
 from repro.perf.pool import (
     available_workers,
@@ -25,6 +28,12 @@ from repro.perf.pool import (
     chunked,
     pool_map,
     resolve_workers,
+)
+from repro.perf.resilient import (
+    RetryPolicy,
+    default_policy,
+    execution_policy,
+    resilient_map,
 )
 from repro.power.calculator import ScapCalculator
 from repro.sim.logic import loc_launch_capture, pack_matrix
@@ -311,3 +320,209 @@ class TestPerfUtilities:
 
 def _square(x):
     return x * x
+
+
+def _buggy(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x * x
+
+
+def _traced_square(arg):
+    """Square x, leaving one marker file per *execution* of this item."""
+    x, trace_dir = arg
+    marker = os.path.join(trace_dir, f"{x}_{os.getpid()}_{os.urandom(4).hex()}")
+    with open(marker, "w") as fh:
+        fh.write(str(x))
+    return x * x
+
+
+#: Fast backoff so chaos tests retry in milliseconds, not seconds.
+FAST = RetryPolicy(backoff_base_s=0.001, backoff_max_s=0.01, jitter=0.0)
+
+
+class TestResilientMap:
+    """The recovery ladder, rung by rung, under deterministic chaos."""
+
+    def test_task_bug_propagates_never_degrades(self):
+        # The historical pool_map bug: a task exception silently
+        # re-ran everything serially.  Now it must propagate with the
+        # original exception chained — and no fallback warning.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with pytest.raises(ExecutionError) as info:
+                pool_map(_buggy, [1, 2, 3, 4], n_workers=2)
+        assert isinstance(info.value.__cause__, ValueError)
+        assert info.value.chunk_index == 2
+        assert not any(
+            issubclass(w.category, RuntimeWarning) for w in caught
+        )
+
+    def test_task_bug_propagates_serially_too(self):
+        with pytest.raises(ExecutionError) as info:
+            resilient_map(_buggy, [3], n_workers=1, policy=FAST)
+        assert isinstance(info.value.__cause__, ValueError)
+
+    def test_transient_failure_retries_to_success(self):
+        spec = chaos.ChaosSpec(fail={1: (0,)})
+        from repro.perf.resilient import ExecutionReport
+
+        report = ExecutionReport()
+        with chaos.inject(spec):
+            out = resilient_map(
+                _square, [0, 1, 2, 3], n_workers=2,
+                policy=FAST, report=report,
+            )
+        assert out == [0, 1, 4, 9]
+        assert report.chunk_attempts[1] == 2
+        assert report.total_retries == 1
+        assert report.retried_chunks == [1]
+        assert not report.serial_fallback
+
+    def test_worker_kill_requeues_only_inflight_chunks(self, tmp_path):
+        # SIGKILL the worker holding chunk 0 on its first attempt.
+        # Completed chunks must not re-run (exactly one marker each)
+        # and the pool must recover without the serial fallback.
+        items = [(x, str(tmp_path)) for x in range(8)]
+        spec = chaos.ChaosSpec(kill={0: (0,)})
+        from repro.perf.resilient import ExecutionReport
+
+        report = ExecutionReport()
+        with chaos.inject(spec):
+            out = resilient_map(
+                _traced_square, items, n_workers=2,
+                policy=FAST, report=report,
+            )
+        assert out == [x * x for x in range(8)]
+        assert report.pool_rebuilds >= 1
+        assert not report.serial_fallback
+        assert any(f.kind == "crash" for f in report.failures)
+        runs_per_item = {}
+        for marker in os.listdir(tmp_path):
+            x = int(marker.split("_")[0])
+            runs_per_item[x] = runs_per_item.get(x, 0) + 1
+        # Every item executed, and only the chunks in flight at the
+        # crash (at most n_workers) may have executed a second time —
+        # a wholesale serial re-run would double all eight.
+        assert set(runs_per_item) == set(range(8))
+        extra = sum(n - 1 for n in runs_per_item.values())
+        assert extra <= 2, runs_per_item
+
+    def test_hang_past_timeout_is_cancelled_and_retried(self):
+        spec = chaos.ChaosSpec(hang={0: (0,)}, hang_s=30.0)
+        policy = RetryPolicy(
+            timeout_s=1.0, backoff_base_s=0.001, jitter=0.0
+        )
+        from repro.perf.resilient import ExecutionReport
+
+        report = ExecutionReport()
+        with chaos.inject(spec):
+            out = resilient_map(
+                _square, [0, 1, 2, 3], n_workers=2,
+                policy=policy, report=report,
+            )
+        assert out == [0, 1, 4, 9]
+        assert report.n_timeouts >= 1
+        assert report.pool_rebuilds >= 1
+        assert not report.serial_fallback
+        assert any(f.kind == "timeout" for f in report.failures)
+
+    def test_retry_exhaustion_raises_with_context(self):
+        spec = chaos.ChaosSpec(fail={0: (0, 1, 2)})
+        with chaos.inject(spec):
+            with pytest.raises(ExecutionError) as info:
+                resilient_map(
+                    _square, [0, 1], n_workers=2,
+                    policy=dataclass_replace(FAST, max_attempts=3),
+                )
+        assert info.value.chunk_index == 0
+        assert info.value.attempts == 3
+
+    def test_rebuild_cap_falls_back_to_serial_for_remaining(self):
+        # Two kills on the same chunk exhaust a rebuild cap of 1: the
+        # remaining chunks (chaos-free by design of the fallback) run
+        # serially and the run still completes correctly.
+        spec = chaos.ChaosSpec(kill={0: (0, 1)})
+        policy = dataclass_replace(
+            FAST, max_attempts=4, max_pool_rebuilds=1
+        )
+        from repro.perf.resilient import ExecutionReport
+
+        report = ExecutionReport()
+        with chaos.inject(spec):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                out = resilient_map(
+                    _square, [0, 1, 2, 3], n_workers=2,
+                    policy=policy, report=report,
+                )
+        assert out == [0, 1, 4, 9]
+        assert report.serial_fallback
+        assert any(
+            issubclass(w.category, RuntimeWarning) for w in caught
+        )
+
+    def test_rebuild_cap_without_fallback_raises(self):
+        spec = chaos.ChaosSpec(kill={0: (0, 1)})
+        policy = dataclass_replace(
+            FAST, max_attempts=4, max_pool_rebuilds=1,
+            serial_fallback=False,
+        )
+        with chaos.inject(spec):
+            with pytest.raises(WorkerCrashError):
+                resilient_map(
+                    _square, [0, 1, 2, 3], n_workers=2, policy=policy
+                )
+
+    def test_serial_path_retries_transients(self):
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientError("first try fails")
+            return x * x
+
+        from repro.perf.resilient import ExecutionReport
+
+        report = ExecutionReport()
+        out = resilient_map(
+            flaky, [5], n_workers=1, policy=FAST, report=report
+        )
+        assert out == [25]
+        assert report.chunk_attempts[0] == 2
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(seed=7)
+        a = policy.backoff_s(3, 1)
+        assert a == policy.backoff_s(3, 1)
+        assert a != policy.backoff_s(3, 2) or policy.jitter == 0
+        for attempt in range(10):
+            delay = policy.backoff_s(0, attempt)
+            assert 0 < delay <= policy.backoff_max_s * (1 + policy.jitter)
+
+    def test_execution_policy_scopes_and_restores(self):
+        before = default_policy()
+        with execution_policy(timeout_s=9.0, max_attempts=5) as scoped:
+            assert default_policy() is scoped
+            assert scoped.timeout_s == 9.0
+            assert scoped.max_attempts == 5
+            with execution_policy(max_attempts=2) as inner:
+                assert inner.timeout_s == 9.0  # nested scopes compose
+                assert inner.max_attempts == 2
+            assert default_policy() is scoped
+        assert default_policy() is before
+
+    def test_results_in_input_order_under_chaos(self):
+        spec = chaos.ChaosSpec(fail={2: (0,), 5: (0,)})
+        with chaos.inject(spec):
+            out = resilient_map(
+                _square, list(range(12)), n_workers=3, policy=FAST
+            )
+        assert out == [x * x for x in range(12)]
+
+
+def dataclass_replace(policy, **kw):
+    import dataclasses
+
+    return dataclasses.replace(policy, **kw)

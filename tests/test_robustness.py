@@ -1,16 +1,28 @@
-"""Seed-robustness: the headline result is not one lucky seed.
+"""Seed-robustness and fault-tolerance of the full pipeline.
 
-Runs the conventional-vs-staged comparison on three independently
-generated tiny SOCs and checks the paper's qualitative claims hold for
-each: the staged fill-0 flow never violates the B5 threshold before B5
-is targeted, and never violates more than the conventional flow does.
+Part one: the headline result is not one lucky seed — the
+conventional-vs-staged comparison holds on three independently
+generated tiny SOCs.
+
+Part two (``-m chaos``): the execution layer survives deliberately
+injected infrastructure failures — workers SIGKILLed mid-batch, hung
+past their deadline, transient faults — and interrupted flows resume
+from checkpoints, all **bit-identical** to an undisturbed serial run.
 """
 
 from __future__ import annotations
 
+import warnings
+
+import numpy as np
 import pytest
 
 from repro import CaseStudy
+from repro.core.flow import NoiseAwarePatternGenerator, run_noise_tolerant_flow
+from repro.perf import chaos
+from repro.perf.resilient import execution_policy, last_report
+from repro.power.calculator import ScapCalculator
+from repro.soc import build_turbo_eagle
 
 SEEDS = (11, 97, 2024)
 
@@ -42,3 +54,228 @@ def test_headline_holds_across_seeds(seed):
     actives = [p for p in conv.profiles if p.stw_ns > 0]
     assert actives
     assert all(p.scap_mw() >= p.cap_mw() for p in actives), seed
+
+
+# ----------------------------------------------------------------------
+# chaos: injected infrastructure failures on the real pipeline
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_design():
+    return build_turbo_eagle("tiny", seed=2007)
+
+
+@pytest.fixture(scope="module")
+def fault_batch(tiny_design):
+    from repro.atpg.faults import build_fault_universe, collapse_faults
+
+    nl = tiny_design.netlist
+    reps, _ = collapse_faults(nl, build_fault_universe(nl))
+    rng = np.random.default_rng(5)
+    matrix = rng.integers(0, 2, size=(120, nl.n_flops), dtype=np.int8)
+    return list(reps), matrix
+
+
+@pytest.mark.chaos
+class TestChaosPipeline:
+    """Kill, hang and fail workers under the paper's real workloads."""
+
+    def test_fsim_survives_worker_kill_bit_identical(
+        self, tiny_design, fault_batch
+    ):
+        from repro.atpg.fsim import FaultSimulator
+
+        faults, matrix = fault_batch
+        fsim = FaultSimulator(tiny_design.netlist, tiny_design.dominant_domain())
+        serial = fsim.run_batch(matrix, faults, lane_width=64)
+        spec = chaos.ChaosSpec(kill={1: (0,)})
+        with chaos.inject(spec), execution_policy(
+            backoff_base_s=0.001, jitter=0.0
+        ):
+            survived = fsim.run_batch(
+                matrix, faults, lane_width=64, n_workers=2
+            )
+        assert survived == serial
+        report = last_report()
+        assert report.pool_rebuilds >= 1
+        assert not report.serial_fallback  # recovered, not degraded
+        # bounded recovery: at most the chunks in flight when the
+        # worker died (<= n_workers) burned an extra try — completed
+        # chunks were never re-run
+        assert 1 <= len(report.retried_chunks) <= 2
+        assert all(a <= 2 for a in report.chunk_attempts.values())
+
+    def test_scap_survives_worker_kill_bit_identical(
+        self, tiny_design, fault_batch
+    ):
+        _faults, matrix = fault_batch
+        domain = tiny_design.dominant_domain()
+        serial = ScapCalculator(tiny_design, domain).profile_patterns(
+            matrix[:60]
+        )
+        calc = ScapCalculator(tiny_design, domain)
+        spec = chaos.ChaosSpec(kill={0: (0,)})
+        with chaos.inject(spec), execution_policy(
+            backoff_base_s=0.001, jitter=0.0
+        ):
+            survived = calc.profile_patterns(matrix[:60], n_workers=2)
+        assert survived == serial
+        assert not last_report().serial_fallback
+
+    def test_scap_hang_past_timeout_recovers(self, tiny_design, fault_batch):
+        _faults, matrix = fault_batch
+        domain = tiny_design.dominant_domain()
+        serial = ScapCalculator(tiny_design, domain).profile_patterns(
+            matrix[:60]
+        )
+        calc = ScapCalculator(tiny_design, domain)
+        spec = chaos.ChaosSpec(hang={0: (0,)}, hang_s=60.0)
+        with chaos.inject(spec), execution_policy(
+            timeout_s=15.0, backoff_base_s=0.001, jitter=0.0
+        ):
+            survived = calc.profile_patterns(matrix[:60], n_workers=2)
+        assert survived == serial
+        report = last_report()
+        assert report.n_timeouts >= 1
+        assert not report.serial_fallback
+
+    def test_fsim_transient_failures_retry_to_success(
+        self, tiny_design, fault_batch
+    ):
+        from repro.atpg.fsim import FaultSimulator
+
+        faults, matrix = fault_batch
+        fsim = FaultSimulator(tiny_design.netlist, tiny_design.dominant_domain())
+        serial = fsim.run_batch(matrix, faults, lane_width=64)
+        spec = chaos.ChaosSpec(fail={0: (0,), 2: (0, 1)})
+        with chaos.inject(spec), execution_policy(
+            backoff_base_s=0.001, jitter=0.0
+        ):
+            survived = fsim.run_batch(
+                matrix, faults, lane_width=64, n_workers=2
+            )
+        assert survived == serial
+        assert last_report().total_retries >= 3
+
+
+@pytest.mark.chaos
+class TestCheckpointResume:
+    """Interrupted flows resume and finish bit-identical."""
+
+    def test_flow_stop_and_resume_bit_identical(self, tiny_design, tmp_path):
+        kwargs = dict(seed=1, backtrack_limit=60)
+        reference = NoiseAwarePatternGenerator(
+            tiny_design, **kwargs
+        ).run()
+
+        ckdir = str(tmp_path / "ck")
+        partial, rep1 = run_noise_tolerant_flow(
+            tiny_design, checkpoint_dir=ckdir, stop_after_stage=1,
+            **kwargs,
+        )
+        assert rep1.status == "partial"
+        assert rep1.completed_stages() and rep1.pending_stages()
+
+        resumed, rep2 = run_noise_tolerant_flow(
+            tiny_design, checkpoint_dir=ckdir, **kwargs
+        )
+        assert rep2.status == "completed"
+        assert rep2.resumed_stages() == rep1.completed_stages()
+        assert np.array_equal(
+            resumed.pattern_set.as_matrix(),
+            reference.pattern_set.as_matrix(),
+        )
+        assert resumed.step_boundaries == reference.step_boundaries
+        assert resumed.test_coverage == reference.test_coverage
+
+    def test_flow_crash_midway_reports_partial_then_resumes(
+        self, tiny_design, tmp_path, monkeypatch
+    ):
+        kwargs = dict(seed=1, backtrack_limit=60)
+        reference = NoiseAwarePatternGenerator(
+            tiny_design, **kwargs
+        ).run()
+
+        real_run_stage = NoiseAwarePatternGenerator._run_stage
+
+        def sabotaged(self, fsim, step, combined, next_index, max_patterns):
+            if step == ("B6",):
+                raise RuntimeError("simulated crash in stage 1")
+            return real_run_stage(
+                self, fsim, step, combined, next_index, max_patterns
+            )
+
+        ckdir = str(tmp_path / "ck")
+        monkeypatch.setattr(
+            NoiseAwarePatternGenerator, "_run_stage", sabotaged
+        )
+        crashed, rep1 = run_noise_tolerant_flow(
+            tiny_design, checkpoint_dir=ckdir,
+            report_path=str(tmp_path / "partial.json"), **kwargs,
+        )
+        assert crashed is None
+        assert rep1.status == "partial"
+        assert "simulated crash" in rep1.error
+        assert (tmp_path / "partial.json").exists()
+
+        monkeypatch.setattr(
+            NoiseAwarePatternGenerator, "_run_stage", real_run_stage
+        )
+        resumed, rep2 = run_noise_tolerant_flow(
+            tiny_design, checkpoint_dir=ckdir, **kwargs
+        )
+        assert rep2.status == "completed"
+        assert rep2.resumed_stages()  # stage 0 came from the checkpoint
+        assert np.array_equal(
+            resumed.pattern_set.as_matrix(),
+            reference.pattern_set.as_matrix(),
+        )
+
+    def test_strict_mode_reraises(self, tiny_design, tmp_path, monkeypatch):
+        def explode(self, fsim, step, combined, next_index, max_patterns):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(
+            NoiseAwarePatternGenerator, "_run_stage", explode
+        )
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_noise_tolerant_flow(
+                tiny_design, checkpoint_dir=str(tmp_path / "ck"),
+                strict=True, seed=1, backtrack_limit=60,
+            )
+
+    def test_casestudy_checkpoint_roundtrip(self, tmp_path):
+        ckdir = str(tmp_path / "cs")
+        first = CaseStudy(
+            scale="tiny", seed=11, backtrack_limit=60, checkpoint_dir=ckdir
+        )
+        staged1 = first.staged()
+        val1 = first.validation("staged")
+        assert first._checkpoint.saves >= 2
+
+        second = CaseStudy(
+            scale="tiny", seed=11, backtrack_limit=60, checkpoint_dir=ckdir
+        )
+        staged2 = second.staged()
+        val2 = second.validation("staged")
+        assert second._checkpoint.loads >= 1  # reran nothing from scratch
+        assert np.array_equal(
+            staged1.pattern_set.as_matrix(), staged2.pattern_set.as_matrix()
+        )
+        assert val1.profiles == val2.profiles
+        assert val1.violations == val2.violations
+
+    def test_stale_checkpoint_is_reset_not_reused(self, tmp_path):
+        ckdir = str(tmp_path / "cs")
+        CaseStudy(
+            scale="tiny", seed=11, backtrack_limit=60, checkpoint_dir=ckdir
+        ).staged()
+        # Same directory, different configuration: the fingerprint
+        # mismatch must discard the store, never serve stale results.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            other = CaseStudy(
+                scale="tiny", seed=97, backtrack_limit=60,
+                checkpoint_dir=ckdir,
+            )
+        assert any("checkpoint" in str(w.message) for w in caught)
+        assert not other._checkpoint.keys()
