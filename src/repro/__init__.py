@@ -18,6 +18,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from .config import ElectricalEnv, K_VOLT, VDD_NOMINAL
+from .drc import DrcReport, Violation, check_design, run_drc
 from .core import (
     CaseStudy,
     ConventionalFlow,
@@ -44,6 +45,7 @@ __all__ = [
     "CaseStudy",
     "CheckpointStore",
     "ConventionalFlow",
+    "DrcReport",
     "ElectricalEnv",
     "K_VOLT",
     "NoiseAwarePatternGenerator",
@@ -54,12 +56,15 @@ __all__ = [
     "ScapCalculator",
     "SocDesign",
     "VDD_NOMINAL",
+    "Violation",
     "build_turbo_eagle",
+    "check_design",
     "derive_scap_thresholds",
     "execution_policy",
     "ir_scaled_endpoint_comparison",
     "pool_map",
     "resilient_map",
+    "run_drc",
     "run_noise_tolerant_flow",
     "validate_pattern_set",
     "__version__",

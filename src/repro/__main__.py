@@ -8,7 +8,8 @@ Commands
 ``scap``        screen a STIL pattern file against SCAP thresholds,
 ``irmap``       print the dynamic IR-drop map of one pattern,
 ``floorplan``   print the synthetic SOC floorplan,
-``flow``        run the staged noise-tolerant flow with checkpoint/resume.
+``flow``        run the staged noise-tolerant flow with checkpoint/resume,
+``drc``         static design-rule check / testability lint (no simulation).
 
 Every command accepts ``--scale`` (tiny/small/bench/full) and ``--seed``.
 ``casestudy`` and ``export`` additionally take ``--checkpoint DIR`` to
@@ -24,6 +25,7 @@ import argparse
 import sys
 
 from . import CaseStudy
+from .drc import FAIL_ON_CHOICES
 from .reporting import format_table
 
 
@@ -175,6 +177,36 @@ def cmd_flow(args) -> int:
     return 3 if report.status == RUN_FAILED or report.error else 0
 
 
+def cmd_drc(args) -> int:
+    from .drc import DrcContext, load_waivers, run_drc
+
+    waivers = load_waivers(args.waivers) if args.waivers else None
+    if args.netlist:
+        from .netlist.verilog import parse_verilog
+
+        with open(args.netlist) as fh:
+            netlist = parse_verilog(fh)
+        ctx = DrcContext.for_netlist(netlist)
+    else:
+        study = _study(args)
+        thresholds = study.thresholds_mw if args.power else None
+        ctx = DrcContext.for_design(study.design, thresholds_mw=thresholds)
+    report = run_drc(ctx, waivers=waivers)
+    print(report.format_text())
+    if args.json_out:
+        report.save(args.json_out)
+        print(f"wrote {args.json_out}")
+    gating = report.gating_violations(args.fail_on)
+    if gating:
+        print(
+            f"FAIL: {len(gating)} unwaived violation(s) at or above "
+            f"severity {args.fail_on!r}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def cmd_export(args) -> int:
     from .reporting import export_case_study
 
@@ -231,6 +263,27 @@ def main(argv=None) -> int:
                    help="output directory (default: artifacts/)")
     p.add_argument("--checkpoint", help="persist/reuse results in DIR")
     p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser(
+        "drc", help="static design-rule check / testability lint"
+    )
+    _add_common(p)
+    p.add_argument("--netlist", metavar="FILE",
+                   help="check a structural Verilog file instead of a "
+                        "generated design (scan rules use its "
+                        "`// pragma ... chain=c:p` metadata)")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the full violation report as JSON")
+    p.add_argument("--waivers", metavar="FILE",
+                   help="JSON waiver file excusing reviewed findings")
+    p.add_argument("--fail-on", default="error", choices=FAIL_ON_CHOICES,
+                   help="lowest severity that makes the command exit "
+                        "non-zero (default: error)")
+    p.add_argument("--power", action="store_true",
+                   help="derive SCAP thresholds and run the static "
+                        "power pre-screen (calibrates the power grid; "
+                        "generated designs only)")
+    p.set_defaults(fn=cmd_drc)
 
     p = sub.add_parser(
         "flow", help="staged noise-tolerant flow with checkpoint/resume"

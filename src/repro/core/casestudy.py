@@ -44,6 +44,7 @@ class CaseStudy:
         target_statistical_drop_v: float = 0.15,
         n_workers: int = 1,
         checkpoint_dir: Optional[str] = None,
+        drc: bool = True,
     ):
         """``n_workers`` fans fault simulation and SCAP grading out
         across a process pool (see :mod:`repro.perf`); results are
@@ -56,6 +57,12 @@ class CaseStudy:
         store is fingerprinted with every constructor parameter that
         changes results; pointing it at a directory from a different
         configuration ignores the stale stages.
+
+        ``drc`` gates every flow behind the static design-rule check:
+        the first :meth:`conventional`/:meth:`staged` call raises
+        :class:`~repro.errors.DrcError` if the generated design has
+        unwaived ERROR violations (it never should — the gate exists so
+        modified generators and hand-edited netlists fail fast).
         """
         self.design = build_turbo_eagle(scale, seed)
         self.domain = self.design.dominant_domain()
@@ -79,11 +86,39 @@ class CaseStudy:
                 target_statistical_drop_v=target_statistical_drop_v,
             )
             self._checkpoint = CheckpointStore(checkpoint_dir, fingerprint)
+        self.drc_enabled = drc
+        self._drc_gate_report = None
         self._model: Optional[GridModel] = None
         self._calculator: Optional[ScapCalculator] = None
         self._thresholds: Optional[Dict[str, float]] = None
         self._flows: Dict[str, FlowResult] = {}
         self._validations: Dict[str, ValidationReport] = {}
+
+    # ------------------------------------------------------------------
+    # static DRC
+    # ------------------------------------------------------------------
+    def _drc_gate(self) -> None:
+        """Run the flow gate once, lazily, before the first flow."""
+        if not self.drc_enabled or self._drc_gate_report is not None:
+            return
+        from .flow import run_drc_gate
+
+        self._drc_gate_report = run_drc_gate(self.design)
+
+    def drc_report(self, include_power: bool = True):
+        """The full DRC report for this design (all rule families).
+
+        With ``include_power`` the SCAP pre-screen runs against the
+        Case-2 thresholds, which calibrates the power grid on first use
+        (the expensive part — the flow gate itself never does this).
+        Returns a :class:`~repro.drc.DrcReport`.
+        """
+        from ..drc import DrcContext, run_drc
+
+        thresholds = self.thresholds_mw if include_power else None
+        return run_drc(
+            DrcContext.for_design(self.design, thresholds_mw=thresholds)
+        )
 
     # ------------------------------------------------------------------
     # cached infrastructure
@@ -127,6 +162,7 @@ class CaseStudy:
     def conventional(self, max_patterns: Optional[int] = None) -> FlowResult:
         """The random-fill baseline flow (cached + checkpointed)."""
         if "conventional" not in self._flows:
+            self._drc_gate()
             key = self._stage_key("flow", "conventional", max_patterns)
             if self._checkpoint is not None and self._checkpoint.has(key):
                 self._flows["conventional"] = self._checkpoint.load(key)
@@ -150,6 +186,7 @@ class CaseStudy:
         """The paper's staged fill-0 noise-aware flow (cached +
         checkpointed, both whole-flow and per stage)."""
         if "staged" not in self._flows:
+            self._drc_gate()
             key = self._stage_key("flow", "staged", max_patterns)
             if self._checkpoint is not None and self._checkpoint.has(key):
                 self._flows["staged"] = self._checkpoint.load(key)

@@ -26,7 +26,7 @@ from ..atpg.engine import AtpgEngine, AtpgResult
 from ..atpg.faults import TransitionFault, build_fault_universe, collapse_faults
 from ..atpg.fsim import FaultSimulator, first_detection_index
 from ..atpg.patterns import PatternSet
-from ..errors import ConfigError
+from ..errors import ConfigError, DrcError
 from ..perf.resilient import collect_reports
 from ..reporting.checkpoint import CheckpointStore, config_fingerprint
 from ..reporting.runreport import (
@@ -43,6 +43,47 @@ STAGE_PLAN_TURBO_EAGLE: Tuple[Tuple[str, ...], ...] = (
     ("B6",),
     ("B5",),
 )
+
+#: DRC families the flow gate runs: everything static and cheap.  The
+#: power family needs thresholds (grid calibration) and never gates —
+#: it is available via ``CaseStudy.drc_report()`` and ``repro drc``.
+DRC_GATE_FAMILIES: Tuple[str, ...] = ("structural", "scan", "clocking")
+
+
+def run_drc_gate(
+    design: SocDesign,
+    waivers=None,
+    run_report: Optional[RunReport] = None,
+):
+    """Run the static DRC gate a flow performs before any generation.
+
+    *waivers* is a :class:`~repro.drc.WaiverSet` or a path to a waiver
+    JSON file.  The resulting report summary is recorded on
+    *run_report* (when given); unwaived ERROR violations raise
+    :class:`~repro.errors.DrcError` carrying the full report.
+
+    Returns the :class:`~repro.drc.DrcReport` on a clean (or waived)
+    design.
+    """
+    from ..drc import DrcContext, load_waivers, run_drc
+
+    if isinstance(waivers, str):
+        waivers = load_waivers(waivers)
+    report = run_drc(
+        DrcContext.for_design(design),
+        waivers=waivers,
+        families=DRC_GATE_FAMILIES,
+    )
+    if run_report is not None:
+        run_report.drc = report.summary()
+    gating = report.gating_violations("error")
+    if gating:
+        raise DrcError(
+            f"design {design.name!r} failed DRC with {len(gating)} "
+            f"unwaived ERROR violation(s):\n" + report.format_text(limit=20),
+            report=report,
+        )
+    return report
 
 
 @dataclass
@@ -400,28 +441,49 @@ def run_noise_tolerant_flow(
     stop_after_stage: Optional[int] = None,
     strict: bool = False,
     report_path: Optional[str] = None,
+    drc: bool = True,
+    drc_waivers=None,
     **generator_kwargs,
 ) -> Tuple[Optional[FlowResult], RunReport]:
     """The staged noise-aware flow as a fault-tolerant, resumable run.
 
     This is the production entry point around
-    :class:`NoiseAwarePatternGenerator`: per-stage results persist to
-    *checkpoint_dir* (guarded by a fingerprint of the design + flow
-    configuration, so a stale directory is never resumed), a rerun
-    skips completed stages, and an unrecoverable error returns a
-    structured partial :class:`~repro.reporting.runreport.RunReport`
-    instead of a bare traceback.
+    :class:`NoiseAwarePatternGenerator`: the design first passes the
+    static DRC gate (see :func:`run_drc_gate`; disable with
+    ``drc=False``, excuse reviewed findings with *drc_waivers* — a
+    :class:`~repro.drc.WaiverSet` or waiver-file path), per-stage
+    results persist to *checkpoint_dir* (guarded by a fingerprint of
+    the design + flow configuration, so a stale directory is never
+    resumed), a rerun skips completed stages, and an unrecoverable
+    error returns a structured partial
+    :class:`~repro.reporting.runreport.RunReport` instead of a bare
+    traceback.
 
     Returns ``(flow_result, run_report)``.  ``flow_result`` is ``None``
     when the run failed before producing a usable pattern set; a
     deliberate *stop_after_stage* interruption returns the partial
     pattern set with ``report.status == "partial"``.  With
     ``strict=True`` the underlying exception propagates after the
-    report is finalised (and written to *report_path*, if given).
+    report is finalised (and written to *report_path*, if given).  A
+    DRC failure always raises :class:`~repro.errors.DrcError` (after
+    writing the report): generating patterns on a netlist that fails
+    its design rules would waste every downstream stage.
     """
     generator = NoiseAwarePatternGenerator(
         design, domain, **generator_kwargs
     )
+    report = RunReport(
+        flow="noise_aware_staged", checkpoint_dir=checkpoint_dir
+    )
+    if drc:
+        try:
+            run_drc_gate(design, waivers=drc_waivers, run_report=report)
+        except DrcError:
+            report.status = RUN_FAILED
+            report.error = "DrcError: unwaived ERROR violations"
+            if report_path is not None:
+                report.save(report_path)
+            raise
     checkpoint = None
     if checkpoint_dir is not None:
         netlist = design.netlist
@@ -442,9 +504,6 @@ def run_noise_tolerant_flow(
         if not resume:
             checkpoint.clear()
 
-    report = RunReport(
-        flow="noise_aware_staged", checkpoint_dir=checkpoint_dir
-    )
     flow_result: Optional[FlowResult] = None
     try:
         flow_result = generator.run(

@@ -1,0 +1,65 @@
+"""Static design-rule check (DRC) and testability lint.
+
+The commercial-flow stage our reproduction was missing: before any
+pattern generation or timing simulation, walk the netlist, scan and
+floorplan metadata and reject (or annotate) designs that would corrupt
+the downstream results — plus a zero-simulation SCAP upper-bound
+pre-screen that tells the noise-aware flow which blocks can never
+violate their power thresholds.
+
+Typical use::
+
+    from repro.drc import DrcContext, run_drc
+
+    report = run_drc(DrcContext.for_design(design, thresholds_mw=thr))
+    if not report.is_clean():
+        raise DrcError(report.format_text())
+
+or, from the command line, ``repro drc --json report.json``.
+"""
+
+from .context import DrcContext
+from .registry import (
+    FAMILIES,
+    DrcRule,
+    RuleRegistry,
+    check_design,
+    check_netlist_drc,
+    default_registry,
+    run_drc,
+)
+from .violation import (
+    ERROR,
+    FAIL_ON_CHOICES,
+    INFO,
+    SEVERITIES,
+    WARN,
+    DrcReport,
+    Violation,
+    severity_rank,
+    worst_severity,
+)
+from .waivers import Waiver, WaiverSet, load_waivers
+
+__all__ = [
+    "DrcContext",
+    "DrcReport",
+    "DrcRule",
+    "ERROR",
+    "FAIL_ON_CHOICES",
+    "FAMILIES",
+    "INFO",
+    "RuleRegistry",
+    "SEVERITIES",
+    "Violation",
+    "WARN",
+    "Waiver",
+    "WaiverSet",
+    "check_design",
+    "check_netlist_drc",
+    "default_registry",
+    "load_waivers",
+    "run_drc",
+    "severity_rank",
+    "worst_severity",
+]

@@ -1,0 +1,194 @@
+"""The DRC rule registry and the engine that runs it.
+
+A rule is a pure function ``DrcContext -> List[Violation]`` wrapped in
+a :class:`DrcRule` record carrying its identity, family, default
+severity and data requirements.  :func:`run_drc` executes a registry
+against a context, skips rules whose requirements the context cannot
+satisfy (recording why), applies waivers and returns a
+:class:`~repro.drc.violation.DrcReport`.
+
+The default registry assembles the shipped rule catalog from the four
+family modules; callers can build restricted registries (e.g. the flow
+gate skips the power family) or register project-specific rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from .context import DrcContext
+from .violation import DrcReport, Violation
+from .waivers import WaiverSet
+
+#: The rule families shipped with the default registry.
+FAMILIES = ("structural", "scan", "clocking", "power")
+
+RuleFn = Callable[[DrcContext], List[Violation]]
+
+
+@dataclass(frozen=True)
+class DrcRule:
+    """One registered design rule.
+
+    ``requires`` names the optional context pieces the rule needs:
+    ``"scan"`` (a scan configuration), ``"design"`` (a full
+    :class:`~repro.soc.design.SocDesign`) or ``"thresholds"`` (per-
+    block SCAP limits).  A rule whose requirements are unmet is skipped
+    and recorded, never silently dropped.
+    """
+
+    rule_id: str
+    family: str
+    severity: str
+    title: str
+    fn: RuleFn
+    requires: Tuple[str, ...] = ()
+
+    def missing_requirement(self, ctx: DrcContext) -> Optional[str]:
+        """Why this rule cannot run on *ctx*, or None when it can."""
+        for req in self.requires:
+            if req == "scan" and ctx.scan is None:
+                return "no scan configuration"
+            if req == "design" and ctx.design is None:
+                return "bare netlist (no SOC design)"
+            if req == "thresholds" and ctx.thresholds_mw is None:
+                return "no SCAP thresholds supplied"
+        return None
+
+
+class RuleRegistry:
+    """Ordered collection of :class:`DrcRule` records, unique by id."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, DrcRule] = {}
+
+    def register(self, rule: DrcRule) -> DrcRule:
+        if rule.rule_id in self._rules:
+            raise ConfigError(f"duplicate DRC rule id {rule.rule_id!r}")
+        if rule.family not in FAMILIES:
+            raise ConfigError(
+                f"rule {rule.rule_id!r} has unknown family {rule.family!r}"
+            )
+        self._rules[rule.rule_id] = rule
+        return rule
+
+    def rules(
+        self, families: Optional[Sequence[str]] = None
+    ) -> List[DrcRule]:
+        """Registered rules in registration order, optionally filtered."""
+        if families is None:
+            return list(self._rules.values())
+        wanted = set(families)
+        unknown = wanted - set(FAMILIES)
+        if unknown:
+            raise ConfigError(f"unknown DRC families: {sorted(unknown)}")
+        return [r for r in self._rules.values() if r.family in wanted]
+
+    def get(self, rule_id: str) -> DrcRule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise ConfigError(f"no DRC rule {rule_id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: object) -> bool:
+        return rule_id in self._rules
+
+    def rule_ids(self) -> List[str]:
+        return list(self._rules)
+
+
+def default_registry() -> RuleRegistry:
+    """A fresh registry holding the full shipped rule catalog."""
+    from . import rules_clocking, rules_power, rules_scan, rules_structural
+
+    registry = RuleRegistry()
+    for module in (
+        rules_structural,
+        rules_scan,
+        rules_clocking,
+        rules_power,
+    ):
+        for rule in module.RULES:
+            registry.register(rule)
+    return registry
+
+
+def run_drc(
+    ctx: DrcContext,
+    registry: Optional[RuleRegistry] = None,
+    waivers: Optional[WaiverSet] = None,
+    families: Optional[Sequence[str]] = None,
+    design_name: Optional[str] = None,
+) -> DrcReport:
+    """Execute a rule registry against a context.
+
+    Parameters
+    ----------
+    ctx:
+        What to check (see :class:`DrcContext` constructors).
+    registry:
+        Defaults to the full shipped catalog.
+    waivers:
+        Reviewed exceptions; matched violations are marked waived and
+        stop gating.
+    families:
+        Restrict to the given rule families (e.g. the flow gate runs
+        without ``"power"``).
+    design_name:
+        Report label; defaults to the design's/netlist's own name.
+    """
+    if registry is None:
+        registry = default_registry()
+    if design_name is None:
+        if ctx.design is not None:
+            design_name = ctx.design.name
+        else:
+            design_name = ctx.netlist.name or "netlist"
+    report = DrcReport(design_name=design_name)
+    for rule in registry.rules(families):
+        why_not = rule.missing_requirement(ctx)
+        if why_not is not None:
+            report.rules_skipped[rule.rule_id] = why_not
+            continue
+        report.rules_run.append(rule.rule_id)
+        report.violations.extend(rule.fn(ctx))
+    if waivers is not None and len(waivers):
+        report.waivers_applied = waivers.apply(report.violations)
+    return report
+
+
+def check_design(
+    design: "object",
+    thresholds_mw: Optional[Dict[str, float]] = None,
+    waivers: Optional[WaiverSet] = None,
+    families: Optional[Sequence[str]] = None,
+) -> DrcReport:
+    """Run the full catalog on a :class:`~repro.soc.design.SocDesign`."""
+    from ..soc.design import SocDesign
+
+    if not isinstance(design, SocDesign):
+        raise ConfigError("check_design expects a SocDesign")
+    ctx = DrcContext.for_design(design, thresholds_mw=thresholds_mw)
+    return run_drc(ctx, waivers=waivers, families=families)
+
+
+def check_netlist_drc(
+    netlist: "object",
+    waivers: Optional[WaiverSet] = None,
+    families: Optional[Sequence[str]] = None,
+) -> DrcReport:
+    """Run the catalog on a bare :class:`~repro.netlist.netlist.Netlist`.
+
+    Rules needing design/threshold context are recorded as skipped.
+    """
+    from ..netlist.netlist import Netlist
+
+    if not isinstance(netlist, Netlist):
+        raise ConfigError("check_netlist_drc expects a Netlist")
+    ctx = DrcContext.for_netlist(netlist)
+    return run_drc(ctx, waivers=waivers, families=families)

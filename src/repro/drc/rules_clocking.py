@@ -1,0 +1,197 @@
+"""Clocking rule family: launch/capture clock hygiene.
+
+=========  ========  ====================================================
+rule id    severity  checks
+=========  ========  ====================================================
+CLK-CDC    WARN      flop D pins fed combinationally from another clock
+                     domain (unconstrained crossings corrupt at-speed
+                     launch/capture)
+CLK-GATE   INFO      load-enable / clock-gate enables driven by scan
+                     cells (shift-controllable gating — intentional in
+                     this flow, but must be accounted for)
+CLK-CHAIN  WARN      chains spanning several capture-clock domains, and
+                     chain cells clocked by domains the design does not
+                     declare (ERROR)
+=========  ========  ====================================================
+
+CLK-CDC aggregates per (source domain, destination domain) pair —
+reporting every crossing flop individually would swamp the report on
+real designs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .context import DrcContext
+from .registry import DrcRule
+from .violation import ERROR, INFO, WARN, Violation
+
+
+def rule_clk_cdc(ctx: DrcContext) -> List[Violation]:
+    sources = ctx.net_domain_sources()
+    if sources is None:  # defensive; propagation covers partial orders
+        return []
+    nl = ctx.netlist
+    crossings: Dict[Tuple[str, str], List[str]] = {}
+    for flop in nl.flops:
+        feeding = sources[flop.d]
+        for src in feeding:
+            if src != flop.clock_domain:
+                crossings.setdefault(
+                    (src, flop.clock_domain), []
+                ).append(flop.name)
+    out: List[Violation] = []
+    for (src, dst), names in sorted(crossings.items()):
+        out.append(
+            Violation(
+                rule_id="CLK-CDC",
+                severity=WARN,
+                message=(
+                    f"{len(names)} flop(s) in domain {dst!r} capture data "
+                    f"launched from domain {src!r} (e.g. {names[:4]}): "
+                    f"unconstrained crossing for at-speed launch/capture"
+                ),
+                location={
+                    "from_domain": src,
+                    "to_domain": dst,
+                    "n_flops": len(names),
+                    "examples": names[:4],
+                },
+                fix_hint=(
+                    "declare the crossing false-path for delay test or "
+                    "mask the capturing cells during inter-domain "
+                    "patterns"
+                ),
+            )
+        )
+    return out
+
+
+def rule_clk_gate(ctx: DrcContext) -> List[Violation]:
+    """Load-enable registers driven through the scan path.
+
+    The SOC generator emits each block's gating configuration registers
+    as ``<block>_enf<k>`` (see
+    :meth:`~repro.soc.design.SocDesign.enable_flops_in_block`); when
+    such a register is a scan cell on a chain, every shift cycle
+    rewrites the block's gating — the classic "clock-gate enable fed by
+    scan cell" situation a commercial DRC flags.  In this flow it is
+    the *intended* power-control knob, so the finding is informational.
+    """
+    by_block: Dict[str, List[str]] = {}
+    for flop in ctx.netlist.flops:
+        if "_enf" not in flop.name or not flop.is_scan:
+            continue
+        if flop.chain is None:
+            continue
+        by_block.setdefault(flop.block or "?", []).append(flop.name)
+    out: List[Violation] = []
+    for block, names in sorted(by_block.items()):
+        out.append(
+            Violation(
+                rule_id="CLK-GATE",
+                severity=INFO,
+                message=(
+                    f"block {block}: {len(names)} gating enable "
+                    f"register(s) (e.g. {names[:3]}) sit on scan chains; "
+                    f"their captured/shifted values control the block's "
+                    f"activity"
+                ),
+                location={
+                    "block": block,
+                    "n_enables": len(names),
+                    "examples": names[:3],
+                },
+                fix_hint=(
+                    "keep the enables scan-controllable only if the "
+                    "fill strategy accounts for them (the noise-aware "
+                    "flow does)"
+                ),
+            )
+        )
+    return out
+
+
+def rule_clk_chain(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    nl = ctx.netlist
+    assert ctx.scan is not None
+    declared: Set[str] = (
+        set(ctx.design.domains) if ctx.design is not None else set()
+    )
+    for chain in ctx.scan.chains:
+        domains = sorted(
+            {
+                nl.flops[fi].clock_domain
+                for fi in chain.flops
+                if 0 <= fi < nl.n_flops
+            }
+        )
+        if len(domains) > 1:
+            out.append(
+                Violation(
+                    rule_id="CLK-CHAIN",
+                    severity=WARN,
+                    message=(
+                        f"chain {chain.index} spans clock domains "
+                        f"{domains}: the capture clock during "
+                        f"launch/capture is ambiguous for part of the "
+                        f"chain"
+                    ),
+                    location={"chain": chain.index, "domains": domains},
+                    fix_hint=(
+                        "group chains by capture domain, or mask "
+                        "off-domain cells during capture"
+                    ),
+                )
+            )
+        if declared:
+            unknown = [d for d in domains if d not in declared]
+            if unknown:
+                out.append(
+                    Violation(
+                        rule_id="CLK-CHAIN",
+                        severity=ERROR,
+                        message=(
+                            f"chain {chain.index} contains cells clocked "
+                            f"by undeclared domain(s) {unknown}: no "
+                            f"launch/capture clock exists for them"
+                        ),
+                        location={
+                            "chain": chain.index,
+                            "domains": unknown,
+                        },
+                        fix_hint=(
+                            "declare the domain (with a clock tree) or "
+                            "reclock the cells"
+                        ),
+                    )
+                )
+    return out
+
+
+RULES = [
+    DrcRule(
+        "CLK-CDC",
+        "clocking",
+        WARN,
+        "unconstrained clock-domain crossing",
+        rule_clk_cdc,
+    ),
+    DrcRule(
+        "CLK-GATE",
+        "clocking",
+        INFO,
+        "gating enable driven by scan cell",
+        rule_clk_gate,
+    ),
+    DrcRule(
+        "CLK-CHAIN",
+        "clocking",
+        WARN,
+        "chain / capture-clock domain mismatch",
+        rule_clk_chain,
+        requires=("scan",),
+    ),
+]

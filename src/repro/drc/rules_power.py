@@ -1,0 +1,180 @@
+"""Power rule family: static SCAP pre-screen and grid hot spots.
+
+=========  =========  ===================================================
+rule id    severity   checks
+=========  =========  ===================================================
+PWR-SCAP   WARN/INFO  static per-block SCAP upper bound vs the per-block
+                      thresholds — WARN when a block *could* exceed its
+                      limit (needs the full noise-aware treatment), INFO
+                      when it provably cannot (power simulation can be
+                      skipped for it)
+PWR-HOT    WARN/INFO  power-density hot spots far from the pad ring,
+                      with the floorplan adjacency that compounds the
+                      droop (statistical vectorless power, no
+                      simulation)
+=========  =========  ===================================================
+
+Both rules are WARN-at-worst by design: power findings steer the flow
+(which blocks to watch, which to skip) rather than reject the netlist.
+Neither runs a timing simulation — PWR-SCAP uses the structural bound
+of :class:`~repro.power.static_bound.StaticScapBound`, PWR-HOT the
+vectorless statistical model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .context import DrcContext
+from .registry import DrcRule
+from .violation import INFO, WARN, Violation
+
+#: A block is "hot" when its power density exceeds the chip average by
+#: this factor (B5 in the paper sits around 1.4x).
+HOT_DENSITY_FACTOR = 1.25
+
+#: ... and "deep" when its centre is farther than this fraction of the
+#: short chip edge from the pad ring (IR drop grows with pad distance).
+DEEP_FRACTION = 0.2
+
+
+def rule_pwr_scap(ctx: DrcContext) -> List[Violation]:
+    from ..power.static_bound import StaticScapBound
+
+    assert ctx.design is not None and ctx.thresholds_mw is not None
+    bound = StaticScapBound(ctx.design, domain=ctx.domain)
+    screen = bound.screen_blocks(ctx.thresholds_mw)
+    out: List[Violation] = []
+    for block in sorted(screen):
+        row = screen[block]
+        if row["provably_safe"]:
+            out.append(
+                Violation(
+                    rule_id="PWR-SCAP",
+                    severity=INFO,
+                    message=(
+                        f"block {block}: static SCAP upper bound "
+                        f"{row['bound_mw']:.3f} mW is below the "
+                        f"{row['threshold_mw']:.3f} mW threshold — no "
+                        f"pattern can violate it; power simulation can "
+                        f"be skipped for this block"
+                    ),
+                    location={
+                        "block": block,
+                        "bound_mw": round(row["bound_mw"], 6),
+                        "threshold_mw": round(row["threshold_mw"], 6),
+                    },
+                )
+            )
+        else:
+            out.append(
+                Violation(
+                    rule_id="PWR-SCAP",
+                    severity=WARN,
+                    message=(
+                        f"block {block}: static SCAP upper bound "
+                        f"{row['bound_mw']:.3f} mW exceeds the "
+                        f"{row['threshold_mw']:.3f} mW threshold — "
+                        f"patterns can overdrive this block; route them "
+                        f"through the noise-aware screen"
+                    ),
+                    location={
+                        "block": block,
+                        "bound_mw": round(row["bound_mw"], 6),
+                        "threshold_mw": round(row["threshold_mw"], 6),
+                    },
+                    fix_hint=(
+                        "use power-aware fill (0-fill/adjacent) and "
+                        "per-pattern SCAP grading for patterns touching "
+                        "this block"
+                    ),
+                )
+            )
+    return out
+
+
+def rule_pwr_hot(ctx: DrcContext) -> List[Violation]:
+    from ..power.statistical import statistical_block_power
+
+    assert ctx.design is not None
+    design = ctx.design
+    floorplan = design.floorplan
+    stats = statistical_block_power(
+        design, domain=ctx.domain, window_fraction=0.5
+    )
+    densities = {}
+    total_power = 0.0
+    total_area = 0.0
+    for block, stat in stats.items():
+        area = floorplan.region(block).area
+        densities[block] = stat.avg_power_mw / area if area else 0.0
+        total_power += stat.avg_power_mw
+        total_area += area
+    if total_area <= 0.0 or total_power <= 0.0:
+        return []
+    chip_density = total_power / total_area
+    deep_limit = DEEP_FRACTION * min(floorplan.width, floorplan.height)
+    adjacency = floorplan.adjacency()
+    out: List[Violation] = []
+    for block in sorted(densities):
+        density = densities[block]
+        if density <= HOT_DENSITY_FACTOR * chip_density:
+            continue
+        cx, cy = floorplan.region(block).center
+        depth = floorplan.distance_to_periphery(cx, cy)
+        hot_neighbors = [
+            n
+            for n in adjacency.get(block, [])
+            if densities.get(n, 0.0) > chip_density
+        ]
+        deep = depth > deep_limit
+        neighbor_note = (
+            f"; adjacent above-average blocks {hot_neighbors} compound "
+            f"the droop"
+            if hot_neighbors
+            else ""
+        )
+        out.append(
+            Violation(
+                rule_id="PWR-HOT",
+                severity=WARN if deep else INFO,
+                message=(
+                    f"block {block} is a power-grid hot spot: density "
+                    f"{density / chip_density:.2f}x the chip average, "
+                    f"centre {depth:.0f} um from the pad ring"
+                    + neighbor_note
+                ),
+                location={
+                    "block": block,
+                    "density_ratio": round(density / chip_density, 3),
+                    "depth_um": round(depth, 1),
+                    "hot_neighbors": hot_neighbors,
+                },
+                fix_hint=(
+                    "expect the worst IR drop here (the paper's B5); "
+                    "tighten this block's SCAP threshold or add grid "
+                    "straps"
+                ),
+            )
+        )
+    return out
+
+
+RULES = [
+    DrcRule(
+        "PWR-SCAP",
+        "power",
+        WARN,
+        "static SCAP upper-bound pre-screen",
+        rule_pwr_scap,
+        requires=("design", "thresholds"),
+    ),
+    DrcRule(
+        "PWR-HOT",
+        "power",
+        WARN,
+        "power-grid hot-spot adjacency",
+        rule_pwr_hot,
+        requires=("design",),
+    ),
+]

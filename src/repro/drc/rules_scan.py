@@ -1,0 +1,374 @@
+"""Scan/DFT rule family: chain integrity and shiftability.
+
+==========  ========  ===================================================
+rule id     severity  checks
+==========  ========  ===================================================
+SCN-FIELD   ERROR     flop chain/chain_pos metadata self-consistency
+SCN-CHAIN   ERROR     broken / non-traversable chains (bad refs,
+                      duplicates, shift-order gaps, metadata mismatch)
+SCN-ORPHAN  WARN      scan cells outside every chain (untestable)
+SCN-EDGE    ERROR     mixed or mislabelled shift-clock edges in a chain
+SCN-LOCKUP  WARN      domain crossings inside a chain needing lockup
+                      latches
+SCN-STIL    WARN      STIL/protocol export consistency (chain index
+                      density, edge tokens, membership map)
+==========  ========  ===================================================
+
+SCN-FIELD needs only flop metadata; the rest need a scan configuration
+(from the design, or reconstructed from chain fields) and are skipped
+without one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .context import DrcContext
+from .registry import DrcRule
+from .violation import ERROR, WARN, Violation
+
+
+def rule_scn_field(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    for flop in ctx.netlist.flops:
+        if (flop.chain is None) != (flop.chain_pos is None):
+            out.append(
+                Violation(
+                    rule_id="SCN-FIELD",
+                    severity=ERROR,
+                    message=(
+                        f"flop {flop.name!r} has inconsistent chain "
+                        f"assignment (chain={flop.chain}, "
+                        f"chain_pos={flop.chain_pos})"
+                    ),
+                    location={"instance": flop.name, "block": flop.block},
+                    fix_hint="set both chain and chain_pos, or neither",
+                )
+            )
+        if flop.chain is not None and not flop.is_scan:
+            out.append(
+                Violation(
+                    rule_id="SCN-FIELD",
+                    severity=ERROR,
+                    message=(
+                        f"flop {flop.name!r} is on chain {flop.chain} but "
+                        f"is not a scan cell"
+                    ),
+                    location={
+                        "instance": flop.name,
+                        "chain": flop.chain,
+                        "block": flop.block,
+                    },
+                    fix_hint=(
+                        "swap the cell for its scan variant or drop it "
+                        "from the chain"
+                    ),
+                )
+            )
+    return out
+
+
+def rule_scn_chain(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    nl = ctx.netlist
+    assert ctx.scan is not None  # guaranteed by requires=("scan",)
+    seen_in: Dict[int, int] = {}
+    for chain in ctx.scan.chains:
+        if not chain.flops:
+            out.append(
+                Violation(
+                    rule_id="SCN-CHAIN",
+                    severity=ERROR,
+                    message=f"chain {chain.index} is empty",
+                    location={"chain": chain.index},
+                    fix_hint="remove the chain or assign cells to it",
+                )
+            )
+            continue
+        positions: List[int] = []
+        for pos, fi in enumerate(chain.flops):
+            if not 0 <= fi < nl.n_flops:
+                out.append(
+                    Violation(
+                        rule_id="SCN-CHAIN",
+                        severity=ERROR,
+                        message=(
+                            f"chain {chain.index} position {pos} references "
+                            f"missing flop {fi}: chain is not traversable"
+                        ),
+                        location={"chain": chain.index, "position": pos},
+                        fix_hint="rebuild the chain from existing cells",
+                    )
+                )
+                continue
+            if fi in seen_in:
+                out.append(
+                    Violation(
+                        rule_id="SCN-CHAIN",
+                        severity=ERROR,
+                        message=(
+                            f"flop {nl.flops[fi].name!r} appears in chain "
+                            f"{seen_in[fi]} and chain {chain.index}: shift "
+                            f"paths collide"
+                        ),
+                        location={
+                            "instance": nl.flops[fi].name,
+                            "chains": [seen_in[fi], chain.index],
+                        },
+                        fix_hint="a cell belongs to exactly one chain",
+                    )
+                )
+            else:
+                seen_in[fi] = chain.index
+            flop = nl.flops[fi]
+            if flop.chain is not None and flop.chain != chain.index:
+                out.append(
+                    Violation(
+                        rule_id="SCN-CHAIN",
+                        severity=ERROR,
+                        message=(
+                            f"flop {flop.name!r} metadata says chain "
+                            f"{flop.chain} but the scan config places it "
+                            f"on chain {chain.index}"
+                        ),
+                        location={
+                            "instance": flop.name,
+                            "chain": chain.index,
+                        },
+                        fix_hint=(
+                            "re-run chain insertion so metadata and "
+                            "config agree"
+                        ),
+                    )
+                )
+            if flop.chain_pos is not None:
+                positions.append(flop.chain_pos)
+        expected = list(range(len(positions)))
+        if positions and positions != expected:
+            out.append(
+                Violation(
+                    rule_id="SCN-CHAIN",
+                    severity=ERROR,
+                    message=(
+                        f"chain {chain.index} shift order is broken: "
+                        f"positions {positions[:10]} do not form "
+                        f"0..{len(positions) - 1} along the chain"
+                    ),
+                    location={"chain": chain.index},
+                    fix_hint=(
+                        "chain positions must be the consecutive shift "
+                        "order starting at the scan-in cell"
+                    ),
+                )
+            )
+    return out
+
+
+def rule_scn_orphan(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    assert ctx.scan is not None
+    in_chain = set(ctx.scan.chain_of_flop)
+    for chain in ctx.scan.chains:
+        in_chain.update(chain.flops)
+    for fi in ctx.netlist.scan_flops:
+        if fi in in_chain:
+            continue
+        flop = ctx.netlist.flops[fi]
+        out.append(
+            Violation(
+                rule_id="SCN-ORPHAN",
+                severity=WARN,
+                message=(
+                    f"scan cell {flop.name!r} is not on any chain: it can "
+                    f"be neither loaded nor observed"
+                ),
+                location={"instance": flop.name, "block": flop.block},
+                fix_hint="assign the cell to a chain or unscan it",
+            )
+        )
+    return out
+
+
+def rule_scn_edge(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    nl = ctx.netlist
+    assert ctx.scan is not None
+    for chain in ctx.scan.chains:
+        edges = {
+            nl.flops[fi].edge
+            for fi in chain.flops
+            if 0 <= fi < nl.n_flops
+        }
+        if not edges:
+            continue
+        if len(edges) > 1:
+            out.append(
+                Violation(
+                    rule_id="SCN-EDGE",
+                    severity=ERROR,
+                    message=(
+                        f"chain {chain.index} mixes clock edges "
+                        f"{sorted(edges)}: shifting races through the "
+                        f"inverted segment"
+                    ),
+                    location={"chain": chain.index, "edges": sorted(edges)},
+                    fix_hint=(
+                        "keep negative-edge cells on their own chain "
+                        "(or order them ahead of the positive-edge "
+                        "segment)"
+                    ),
+                )
+            )
+        elif chain.edge not in edges:
+            out.append(
+                Violation(
+                    rule_id="SCN-EDGE",
+                    severity=ERROR,
+                    message=(
+                        f"chain {chain.index} is declared {chain.edge!r} "
+                        f"but its cells clock on {sorted(edges)[0]!r}"
+                    ),
+                    location={"chain": chain.index, "edge": chain.edge},
+                    fix_hint="fix the chain's declared shift edge",
+                )
+            )
+    return out
+
+
+def rule_scn_lockup(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    nl = ctx.netlist
+    assert ctx.scan is not None
+    by_chain: Dict[int, List[int]] = {}
+    for chain_index, pos, _up, _dn in ctx.scan.domain_crossings(nl):
+        by_chain.setdefault(chain_index, []).append(pos)
+    for chain_index, positions in sorted(by_chain.items()):
+        shown = positions[:6]
+        out.append(
+            Violation(
+                rule_id="SCN-LOCKUP",
+                severity=WARN,
+                message=(
+                    f"chain {chain_index} crosses clock domains at "
+                    f"{len(positions)} shift position(s) "
+                    f"(e.g. {shown}): lockup latches needed for safe "
+                    f"shifting"
+                ),
+                location={
+                    "chain": chain_index,
+                    "n_crossings": len(positions),
+                    "positions": shown,
+                },
+                fix_hint=(
+                    "insert a lockup latch at each crossing or "
+                    "regroup the chain by clock domain"
+                ),
+            )
+        )
+    return out
+
+
+def rule_scn_stil(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    assert ctx.scan is not None
+    scan = ctx.scan
+    indexes = [c.index for c in scan.chains]
+    if sorted(indexes) != list(range(len(indexes))):
+        out.append(
+            Violation(
+                rule_id="SCN-STIL",
+                severity=WARN,
+                message=(
+                    f"chain indexes {sorted(indexes)[:10]} are not dense "
+                    f"0..{len(indexes) - 1}: STIL ScanStructures export "
+                    f"is ambiguous"
+                ),
+                location={"indexes": sorted(indexes)[:10]},
+                fix_hint="renumber chains consecutively from 0",
+            )
+        )
+    for chain in scan.chains:
+        if chain.edge not in ("pos", "neg"):
+            out.append(
+                Violation(
+                    rule_id="SCN-STIL",
+                    severity=WARN,
+                    message=(
+                        f"chain {chain.index} has edge token "
+                        f"{chain.edge!r}: not a valid protocol edge"
+                    ),
+                    location={"chain": chain.index, "edge": chain.edge},
+                    fix_hint="use 'pos' or 'neg'",
+                )
+            )
+    membership: Dict[int, int] = {}
+    for chain in scan.chains:
+        for fi in chain.flops:
+            membership.setdefault(fi, chain.index)
+    for fi, chain_index in sorted(scan.chain_of_flop.items()):
+        if membership.get(fi) != chain_index:
+            out.append(
+                Violation(
+                    rule_id="SCN-STIL",
+                    severity=WARN,
+                    message=(
+                        f"chain_of_flop maps flop {fi} to chain "
+                        f"{chain_index} but the chain tables say "
+                        f"{membership.get(fi)}: protocol tables disagree"
+                    ),
+                    location={"flop": fi, "chain": chain_index},
+                    fix_hint="rebuild chain_of_flop from the chain lists",
+                )
+            )
+    return out
+
+
+RULES = [
+    DrcRule(
+        "SCN-FIELD",
+        "scan",
+        ERROR,
+        "chain metadata consistency",
+        rule_scn_field,
+    ),
+    DrcRule(
+        "SCN-CHAIN",
+        "scan",
+        ERROR,
+        "broken / non-traversable chain",
+        rule_scn_chain,
+        requires=("scan",),
+    ),
+    DrcRule(
+        "SCN-ORPHAN",
+        "scan",
+        WARN,
+        "scan cell outside every chain",
+        rule_scn_orphan,
+        requires=("scan",),
+    ),
+    DrcRule(
+        "SCN-EDGE",
+        "scan",
+        ERROR,
+        "shift-edge inversion in chain",
+        rule_scn_edge,
+        requires=("scan",),
+    ),
+    DrcRule(
+        "SCN-LOCKUP",
+        "scan",
+        WARN,
+        "lockup latch needed at domain crossing",
+        rule_scn_lockup,
+        requires=("scan",),
+    ),
+    DrcRule(
+        "SCN-STIL",
+        "scan",
+        WARN,
+        "STIL/protocol consistency",
+        rule_scn_stil,
+        requires=("scan",),
+    ),
+]

@@ -1,0 +1,227 @@
+"""Structural rule family: netlist graph integrity.
+
+=========  ========  ====================================================
+rule id    severity  checks
+=========  ========  ====================================================
+STR-LOOP   ERROR     combinational loops (with a concrete cycle)
+STR-FLOAT  ERROR     floating gate inputs / flop D pins, undriven POs
+STR-DRIVE  ERROR     multi-driver contention on a net
+STR-DANGLE WARN      gate outputs that drive nothing
+STR-CELL   ERROR     instances referencing cells missing from the library
+=========  ========  ====================================================
+
+All five work from the raw instance lists via the context's freeze-free
+analyses, so they still fire on netlists too broken to levelise.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .context import DrcContext
+from .registry import DrcRule
+from .violation import ERROR, WARN, Violation
+
+
+def rule_str_loop(ctx: DrcContext) -> List[Violation]:
+    cycle = ctx.combinational_cycle()
+    if cycle is None:
+        return []
+    stuck = ctx.stuck_gates()
+    shown = " -> ".join(cycle[:8]) + (" -> ..." if len(cycle) > 8 else "")
+    return [
+        Violation(
+            rule_id="STR-LOOP",
+            severity=ERROR,
+            message=(
+                f"combinational loop through {shown} "
+                f"({len(stuck)} gate(s) unplaceable)"
+            ),
+            location={"gates": cycle, "n_stuck": len(stuck)},
+            fix_hint=(
+                "break the cycle with a flop or remove the feedback "
+                "path; ATPG and timing simulation need an acyclic "
+                "combinational core"
+            ),
+        )
+    ]
+
+
+def rule_str_float(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    nl = ctx.netlist
+    driven = ctx.driven_nets()
+    hint = "connect the net to a driver or tie cell"
+    for gate in nl.gates:
+        for pin, net in enumerate(gate.inputs):
+            if net not in driven:
+                out.append(
+                    Violation(
+                        rule_id="STR-FLOAT",
+                        severity=ERROR,
+                        message=(
+                            f"gate {gate.name!r} pin {pin} reads floating "
+                            f"net {ctx.net_name(net)!r}"
+                        ),
+                        location={
+                            "instance": gate.name,
+                            "pin": pin,
+                            "net": ctx.net_name(net),
+                            "block": gate.block,
+                        },
+                        fix_hint=hint,
+                    )
+                )
+    for flop in nl.flops:
+        if flop.d not in driven:
+            out.append(
+                Violation(
+                    rule_id="STR-FLOAT",
+                    severity=ERROR,
+                    message=(
+                        f"flop {flop.name!r} D pin reads floating net "
+                        f"{ctx.net_name(flop.d)!r}"
+                    ),
+                    location={
+                        "instance": flop.name,
+                        "net": ctx.net_name(flop.d),
+                        "block": flop.block,
+                    },
+                    fix_hint=hint,
+                )
+            )
+    for net in nl.primary_outputs:
+        if net not in driven:
+            out.append(
+                Violation(
+                    rule_id="STR-FLOAT",
+                    severity=ERROR,
+                    message=(
+                        f"primary output {ctx.net_name(net)!r} is undriven"
+                    ),
+                    location={"net": ctx.net_name(net)},
+                    fix_hint=hint,
+                )
+            )
+    return out
+
+
+def rule_str_drive(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    for net, drivers in sorted(ctx.driver_census().items()):
+        if len(drivers) <= 1:
+            continue
+        out.append(
+            Violation(
+                rule_id="STR-DRIVE",
+                severity=ERROR,
+                message=(
+                    f"net {ctx.net_name(net)!r} has {len(drivers)} drivers "
+                    f"({', '.join(drivers)}): bus contention"
+                ),
+                location={
+                    "net": ctx.net_name(net),
+                    "drivers": list(drivers),
+                },
+                fix_hint="keep exactly one driver per net",
+            )
+        )
+    return out
+
+
+def rule_str_dangle(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    loaded = ctx.loaded_nets()
+    for gate in ctx.netlist.gates:
+        if gate.output in loaded:
+            continue
+        out.append(
+            Violation(
+                rule_id="STR-DANGLE",
+                severity=WARN,
+                message=(
+                    f"gate {gate.name!r} output {ctx.net_name(gate.output)!r} "
+                    f"drives nothing (dangling)"
+                ),
+                location={
+                    "instance": gate.name,
+                    "net": ctx.net_name(gate.output),
+                    "block": gate.block,
+                },
+                fix_hint=(
+                    "remove the dead gate or route its output; dangling "
+                    "logic wastes area and hides intent"
+                ),
+            )
+        )
+    return out
+
+
+def rule_str_cell(ctx: DrcContext) -> List[Violation]:
+    out: List[Violation] = []
+    library = ctx.netlist.library
+    hint = "use a library cell or extend the library"
+    for gate in ctx.netlist.gates:
+        if gate.cell not in library:
+            out.append(
+                Violation(
+                    rule_id="STR-CELL",
+                    severity=ERROR,
+                    message=(
+                        f"gate {gate.name!r} references unknown cell "
+                        f"{gate.cell!r}"
+                    ),
+                    location={"instance": gate.name, "cell": gate.cell},
+                    fix_hint=hint,
+                )
+            )
+    for flop in ctx.netlist.flops:
+        if flop.cell not in library:
+            out.append(
+                Violation(
+                    rule_id="STR-CELL",
+                    severity=ERROR,
+                    message=(
+                        f"flop {flop.name!r} references unknown cell "
+                        f"{flop.cell!r}"
+                    ),
+                    location={"instance": flop.name, "cell": flop.cell},
+                    fix_hint=hint,
+                )
+            )
+    return out
+
+
+RULES = [
+    DrcRule(
+        "STR-LOOP", "structural", ERROR, "combinational loop", rule_str_loop
+    ),
+    DrcRule(
+        "STR-FLOAT",
+        "structural",
+        ERROR,
+        "floating input / undriven output",
+        rule_str_float,
+    ),
+    DrcRule(
+        "STR-DRIVE",
+        "structural",
+        ERROR,
+        "multi-driver contention",
+        rule_str_drive,
+    ),
+    DrcRule(
+        "STR-DANGLE",
+        "structural",
+        WARN,
+        "dangling gate output",
+        rule_str_dangle,
+    ),
+    DrcRule(
+        "STR-CELL",
+        "structural",
+        ERROR,
+        "unresolved cell reference",
+        rule_str_cell,
+    ),
+]

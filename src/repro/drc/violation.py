@@ -1,0 +1,221 @@
+"""Violation records and the structured DRC report.
+
+A :class:`Violation` is one rule hit: machine-readable (rule id,
+severity, location dict) and human-readable (message, fix hint) at the
+same time, so the same record can gate a flow, land in a JSON artifact
+and print as a review table.  :class:`DrcReport` aggregates a whole
+run: every violation, which rules ran, which were skipped (and why),
+and the waivers that were applied.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+#: Severity levels, worst first.
+ERROR = "ERROR"
+WARN = "WARN"
+INFO = "INFO"
+
+SEVERITIES = (ERROR, WARN, INFO)
+
+#: Numeric rank used for sorting and ``fail_on`` comparisons.
+_SEVERITY_RANK: Dict[str, int] = {ERROR: 2, WARN: 1, INFO: 0}
+
+#: ``fail_on`` values accepted by :meth:`DrcReport.gating_violations`.
+FAIL_ON_CHOICES = ("error", "warn", "info", "never")
+
+
+def severity_rank(severity: str) -> int:
+    """Rank of a severity string (higher = worse); unknown ranks lowest."""
+    return _SEVERITY_RANK.get(severity, -1)
+
+
+@dataclass
+class Violation:
+    """One design-rule hit at one location.
+
+    ``location`` is a small free-form dict (net/instance/chain/block
+    names and similar) so downstream tools can filter without parsing
+    the message; ``fix_hint`` tells a human what a passing design looks
+    like.  A waived violation stays in the report (auditable) but never
+    gates.
+    """
+
+    rule_id: str
+    severity: str
+    message: str
+    location: Dict[str, Any] = field(default_factory=dict)
+    fix_hint: str = ""
+    waived: bool = False
+    waived_reason: Optional[str] = None
+
+    def matches_text(self) -> str:
+        """The text waiver ``match`` patterns are applied against."""
+        loc = " ".join(str(v) for v in self.location.values())
+        return f"{self.message} {loc}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "location": dict(self.location),
+            "fix_hint": self.fix_hint,
+            "waived": self.waived,
+            "waived_reason": self.waived_reason,
+        }
+
+    def __str__(self) -> str:
+        flag = " (waived)" if self.waived else ""
+        return f"[{self.rule_id}] {self.severity}{flag}: {self.message}"
+
+
+@dataclass
+class DrcReport:
+    """Outcome of one DRC run over one design."""
+
+    design_name: str
+    violations: List[Violation] = field(default_factory=list)
+    #: Rule ids that executed, in execution order.
+    rules_run: List[str] = field(default_factory=list)
+    #: Rule id -> reason it was skipped (missing scan config, etc.).
+    rules_skipped: Dict[str, str] = field(default_factory=dict)
+    #: Waiver descriptions that matched at least one violation.
+    waivers_applied: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def by_severity(
+        self, severity: str, include_waived: bool = False
+    ) -> List[Violation]:
+        return [
+            v
+            for v in self.violations
+            if v.severity == severity and (include_waived or not v.waived)
+        ]
+
+    def errors(self, include_waived: bool = False) -> List[Violation]:
+        return self.by_severity(ERROR, include_waived)
+
+    def warnings(self, include_waived: bool = False) -> List[Violation]:
+        return self.by_severity(WARN, include_waived)
+
+    def infos(self, include_waived: bool = False) -> List[Violation]:
+        return self.by_severity(INFO, include_waived)
+
+    def by_rule(self, rule_id: str) -> List[Violation]:
+        return [v for v in self.violations if v.rule_id == rule_id]
+
+    def rule_ids_hit(self) -> List[str]:
+        """Sorted ids of every rule with at least one violation."""
+        return sorted({v.rule_id for v in self.violations})
+
+    def counts(self) -> Dict[str, int]:
+        """Unwaived violation count per severity."""
+        out = {s: 0 for s in SEVERITIES}
+        for v in self.violations:
+            if not v.waived:
+                out[v.severity] = out.get(v.severity, 0) + 1
+        return out
+
+    def gating_violations(self, fail_on: str = "error") -> List[Violation]:
+        """Unwaived violations at or above the *fail_on* severity."""
+        if fail_on == "never":
+            return []
+        floor = severity_rank(fail_on.upper())
+        if floor < 0:
+            raise ValueError(
+                f"fail_on must be one of {FAIL_ON_CHOICES}, got {fail_on!r}"
+            )
+        return [
+            v
+            for v in self.violations
+            if not v.waived and severity_rank(v.severity) >= floor
+        ]
+
+    def is_clean(self, fail_on: str = "error") -> bool:
+        """True when nothing unwaived reaches the *fail_on* severity."""
+        return not self.gating_violations(fail_on)
+
+    # ------------------------------------------------------------------
+    # serialisation / rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        ordered = sorted(
+            self.violations,
+            key=lambda v: (-severity_rank(v.severity), v.rule_id),
+        )
+        return {
+            "design": self.design_name,
+            "clean": self.is_clean(),
+            "counts": self.counts(),
+            "violations": [v.to_dict() for v in ordered],
+            "rules_run": list(self.rules_run),
+            "rules_skipped": dict(self.rules_skipped),
+            "waivers_applied": list(self.waivers_applied),
+        }
+
+    def to_json(self, indent: int = 1) -> str:
+        return json.dumps(
+            self.to_dict(), indent=indent, sort_keys=True, default=str
+        )
+
+    def save(self, path: str) -> str:
+        with open(path, "w") as fh:
+            fh.write(self.to_json() + "\n")
+        return path
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact record embedded in a flow's RunReport."""
+        return {
+            "design": self.design_name,
+            "clean": self.is_clean(),
+            "counts": self.counts(),
+            "rules_hit": self.rule_ids_hit(),
+            "n_waived": sum(1 for v in self.violations if v.waived),
+        }
+
+    def format_text(self, limit: int = 40) -> str:
+        """Human-readable multi-line rendering (CLI output)."""
+        counts = self.counts()
+        lines = [
+            f"DRC report for {self.design_name!r}: "
+            f"{counts[ERROR]} error(s), {counts[WARN]} warning(s), "
+            f"{counts[INFO]} info(s)"
+            + (
+                f", {sum(1 for v in self.violations if v.waived)} waived"
+                if any(v.waived for v in self.violations)
+                else ""
+            )
+        ]
+        ordered = sorted(
+            self.violations,
+            key=lambda v: (-severity_rank(v.severity), v.rule_id),
+        )
+        for v in ordered[:limit]:
+            lines.append(f"  {v}")
+            if v.fix_hint and not v.waived:
+                lines.append(f"      fix: {v.fix_hint}")
+        if len(ordered) > limit:
+            lines.append(f"  ... {len(ordered) - limit} more")
+        if self.rules_skipped:
+            skipped = ", ".join(
+                f"{rid} ({why})" for rid, why in sorted(self.rules_skipped.items())
+            )
+            lines.append(f"  skipped: {skipped}")
+        return "\n".join(lines)
+
+
+def worst_severity(violations: Iterable[Violation]) -> Optional[str]:
+    """Worst unwaived severity present, or None when all clean/waived."""
+    worst: Optional[str] = None
+    for v in violations:
+        if v.waived:
+            continue
+        if worst is None or severity_rank(v.severity) > severity_rank(worst):
+            worst = v.severity
+    return worst

@@ -32,6 +32,20 @@ class ScanError(ReproError):
     """
 
 
+class DrcError(ReproError):
+    """A design failed the static design-rule check gate.
+
+    Raised by the flow/case-study entry points when unwaived
+    ERROR-severity violations remain; carries the offending
+    :class:`~repro.drc.violation.DrcReport` as ``report`` so callers
+    can inspect or persist the findings.
+    """
+
+    def __init__(self, message: str, report: "object | None" = None):
+        super().__init__(message)
+        self.report = report
+
+
 class SimulationError(ReproError):
     """A simulation could not be carried out on the given design/stimulus."""
 

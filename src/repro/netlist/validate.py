@@ -1,9 +1,17 @@
-"""Structural linting of a netlist.
+"""Structural linting of a netlist — compatibility wrapper.
 
-`check_netlist` runs the integrity checks a physical-design handoff
-would: single driver per net, no floating gate inputs, no combinational
-loops, library membership, scan-chain field consistency.  It returns the
-list of human-readable issues and can optionally raise on the first.
+The checks that used to live here (single driver per net, no floating
+gate inputs, no combinational loops, library membership, scan-chain
+field consistency) are now individual rules in the :mod:`repro.drc`
+registry, which reports structured, severity-ranked
+:class:`~repro.drc.violation.Violation` records instead of bare
+strings.  ``check_netlist`` survives as a thin wrapper for callers that
+only want the old contract: the list of ERROR-severity findings as
+human-readable strings, optionally raised as a
+:class:`~repro.errors.NetlistError`.
+
+New code should call :func:`repro.drc.check_netlist_drc` (or
+:func:`repro.drc.run_drc`) directly and filter by severity/location.
 """
 
 from __future__ import annotations
@@ -11,12 +19,11 @@ from __future__ import annotations
 from typing import List
 
 from ..errors import NetlistError
-from .levelize import levelize
 from .netlist import Netlist
 
 
 def check_netlist(netlist: Netlist, raise_on_error: bool = False) -> List[str]:
-    """Run all structural checks; return the list of issues found.
+    """Run the structural DRC rules; return ERROR findings as strings.
 
     Parameters
     ----------
@@ -24,62 +31,21 @@ def check_netlist(netlist: Netlist, raise_on_error: bool = False) -> List[str]:
         The design to lint.
     raise_on_error:
         When True, raise :class:`NetlistError` with the combined issue
-        list if any check fails.
+        list if any ERROR-severity check fails.
+
+    Warning- and info-severity findings (dangling outputs, lockup-latch
+    advisories, clock-domain crossings) are *not* returned — the old
+    contract was "issues that block a handoff".  Use the DRC report for
+    the full picture.
     """
-    issues: List[str] = []
+    # Local import: repro.drc imports from repro.netlist, so importing
+    # at module level would be circular.
+    from ..drc import check_netlist_drc
 
-    # Driver integrity (duplicate drivers raise inside freeze()).
-    try:
-        netlist.freeze()
-    except NetlistError as exc:
-        issues.append(str(exc))
-        if raise_on_error:
-            raise
-        return issues
-
-    driven = set(netlist.primary_inputs)
-    driven.update(g.output for g in netlist.gates)
-    driven.update(f.q for f in netlist.flops)
-
-    for gi, gate in enumerate(netlist.gates):
-        if gate.cell not in netlist.library:
-            issues.append(f"gate {gate.name!r} uses unknown cell {gate.cell!r}")
-        for pin, net in enumerate(gate.inputs):
-            if net not in driven:
-                issues.append(
-                    f"gate {gate.name!r} pin {pin} reads floating net "
-                    f"{netlist.net_names[net]!r}"
-                )
-
-    for flop in netlist.flops:
-        if flop.cell not in netlist.library:
-            issues.append(f"flop {flop.name!r} uses unknown cell {flop.cell!r}")
-        if flop.d not in driven:
-            issues.append(
-                f"flop {flop.name!r} D pin reads floating net "
-                f"{netlist.net_names[flop.d]!r}"
-            )
-        if (flop.chain is None) != (flop.chain_pos is None):
-            issues.append(
-                f"flop {flop.name!r} has inconsistent chain assignment "
-                f"(chain={flop.chain}, chain_pos={flop.chain_pos})"
-            )
-        if flop.chain is not None and not flop.is_scan:
-            issues.append(
-                f"flop {flop.name!r} is on chain {flop.chain} but not scan"
-            )
-
-    for net in netlist.primary_outputs:
-        if net not in driven:
-            issues.append(
-                f"primary output {netlist.net_names[net]!r} is undriven"
-            )
-
-    try:
-        levelize(netlist)
-    except NetlistError as exc:
-        issues.append(str(exc))
-
+    report = check_netlist_drc(netlist)
+    issues = [
+        f"{v.message}" for v in report.errors(include_waived=True)
+    ]
     if issues and raise_on_error:
         raise NetlistError("; ".join(issues))
     return issues

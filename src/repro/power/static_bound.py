@@ -1,0 +1,224 @@
+"""Static (zero-simulation) SCAP upper bounds for the DRC pre-screen.
+
+The paper's flow pays for a timing simulation per pattern to measure
+SCAP.  Before spending that, a *sound upper bound* computed purely from
+netlist structure and extracted parasitics can already classify blocks:
+
+* bound <= threshold  — the block can **never** violate its SCAP limit,
+  no pattern needs power simulation for it;
+* bound > threshold   — the block *may* violate and needs the full
+  noise-aware treatment.
+
+Soundness argument (matches :class:`~repro.sim.event.EventTimingSim`
+semantics exactly):
+
+1.  **Toggle counts.**  The event simulator seeds one launch event per
+    launch-capable flop whose Q changes, and every applied transition
+    on a net schedules exactly one candidate event per fanout gate.
+    Value filtering at fire time only ever *drops* events.  Hence the
+    applied-transition count of a gate output is at most the sum of its
+    inputs' counts, and a launch flop Q toggles at most once.  The
+    propagated bound ``N(q of launch flop) = 1``, ``N(PI) = N(other
+    flop Q) = 0``, ``N(gate output) = sum N(inputs)`` (in levelised
+    order) therefore dominates every net's simulated toggle count.
+
+2.  **Energy.**  Each applied transition of net *i* dissipates
+    ``C_i * VDD^2`` attributed to the driver's block, so block energy
+    is at most ``sum_i N_i * C_i * VDD^2`` over nets driven in the
+    block.
+
+3.  **Window.**  The simulator's STW is the time of the *last* applied
+    transition, and the first applied transition is a launch event at
+    ``insertion_delay + clock-to-Q`` of its flop.  STW is therefore at
+    least the minimum launch-event time over the flops that toggle —
+    and a minimum over a subset can only be larger than the minimum
+    over all launch-capable flops.
+
+SCAP = energy / STW, so ``bound_energy / stw_floor`` upper-bounds the
+simulated SCAP of every pattern.  :meth:`pattern_upper_bounds_mw`
+tightens both sides per pattern using one zero-delay logic pass (a
+*logic* simulation — the pre-screen promise is "before any *timing*
+simulation").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..config import VDD_NOMINAL, joules_to_milliwatts
+from ..errors import ConfigError
+from ..netlist.levelize import levelize
+from ..sim.delays import DelayModel
+from ..sim.logic import LogicSim, loc_launch_capture
+from ..soc.design import SocDesign
+
+
+class StaticScapBound:
+    """Per-block SCAP upper bounds for one design + clock domain."""
+
+    def __init__(
+        self,
+        design: SocDesign,
+        domain: Optional[str] = None,
+        vdd: float = VDD_NOMINAL,
+        delays: Optional[DelayModel] = None,
+    ):
+        self.design = design
+        self.domain = (
+            domain if domain is not None else design.dominant_domain()
+        )
+        if self.domain not in design.domains:
+            raise ConfigError(f"unknown domain {self.domain!r}")
+        self.vdd = vdd
+        netlist = design.netlist
+        self.delays = (
+            delays
+            if delays is not None
+            else DelayModel(netlist, design.parasitics)
+        )
+
+        # Launch-capable flops and their launch-event times, mirroring
+        # ScapCalculator (negative-edge cells never launch).
+        tree = design.clock_trees[self.domain]
+        self.launch_time_ns: Dict[int, float] = {}
+        for fi, flop in enumerate(netlist.flops):
+            if flop.clock_domain != self.domain or flop.edge != "pos":
+                continue
+            self.launch_time_ns[fi] = (
+                tree.insertion_delay_ns(fi) + float(self.delays.flop_ck2q_ns[fi])
+            )
+
+        # Block attribution of a net = its driver's block (the event
+        # simulator uses the identical mapping).
+        self._block_of_net: List[Optional[str]] = [None] * netlist.n_nets
+        for g in netlist.gates:
+            self._block_of_net[g.output] = g.block
+        for f in netlist.flops:
+            self._block_of_net[f.q] = f.block
+        self._energy_of_net = design.parasitics.net_cap_ff * vdd * vdd
+
+        self._gate_order, _levels = levelize(netlist)
+        self._logic: Optional[LogicSim] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def stw_floor_ns(self) -> float:
+        """Earliest possible launch event — the smallest STW any
+        pattern that switches anything can exhibit."""
+        if not self.launch_time_ns:
+            return 0.0
+        return min(self.launch_time_ns.values())
+
+    def toggle_bounds(self, seeds: Optional[Set[int]] = None) -> np.ndarray:
+        """Per-net upper bound on applied transition counts.
+
+        ``seeds`` restricts the launch flops assumed to toggle; the
+        default assumes every launch-capable flop toggles (the
+        block-level worst case).  Floats, because the bound grows
+        multiplicatively with logic depth.
+        """
+        netlist = self.design.netlist
+        bound = np.zeros(netlist.n_nets, dtype=float)
+        flop_ids = self.launch_time_ns if seeds is None else seeds
+        for fi in flop_ids:
+            bound[netlist.flops[fi].q] = 1.0
+        for gi in self._gate_order:
+            gate = netlist.gates[gi]
+            total = 0.0
+            for net in gate.inputs:
+                total += bound[net]
+            bound[gate.output] = total
+        return bound
+
+    def block_energy_bounds_fj(
+        self, seeds: Optional[Set[int]] = None
+    ) -> Dict[str, float]:
+        """Upper bound on switched energy per block (fJ)."""
+        bound = self.toggle_bounds(seeds)
+        energy: Dict[str, float] = {}
+        for net in np.nonzero(bound)[0]:
+            block = self._block_of_net[net]
+            if block is None:
+                continue
+            energy[block] = energy.get(block, 0.0) + float(
+                bound[net] * self._energy_of_net[net]
+            )
+        return energy
+
+    def block_upper_bounds_mw(self) -> Dict[str, float]:
+        """Worst-case SCAP per block over *all* possible patterns (mW).
+
+        Every block of the design appears, including provably quiet
+        ones (bound 0.0).
+        """
+        energy = self.block_energy_bounds_fj()
+        for block in self.design.blocks():
+            energy.setdefault(block, 0.0)
+        return self._to_mw(energy, self.stw_floor_ns)
+
+    # ------------------------------------------------------------------
+    def pattern_upper_bounds_mw(self, v1: Dict[int, int]) -> Dict[str, float]:
+        """Per-block SCAP upper bound for one pattern (mW).
+
+        Runs a single zero-delay launch-to-capture *logic* pass to find
+        which launch flops actually toggle, then seeds the bound with
+        only those — tighter than the block-level bound, still sound,
+        still with no timing simulation.
+        """
+        seeds = self.toggling_launch_flops(v1)
+        if not seeds:
+            return {b: 0.0 for b in self.design.blocks()}
+        floor = min(self.launch_time_ns[fi] for fi in seeds)
+        energy = self.block_energy_bounds_fj(seeds)
+        for block in self.design.blocks():
+            energy.setdefault(block, 0.0)
+        return self._to_mw(energy, floor)
+
+    def toggling_launch_flops(self, v1: Dict[int, int]) -> Set[int]:
+        """Launch-capable flops whose Q changes at the launch edge."""
+        if self._logic is None:
+            self._logic = LogicSim(self.design.netlist)
+        cyc = loc_launch_capture(self._logic, v1, self.domain)
+        netlist = self.design.netlist
+        return {
+            fi
+            for fi in self.launch_time_ns
+            if (cyc.launch_state[fi] & 1)
+            != (cyc.frame1[netlist.flops[fi].q] & 1)
+        }
+
+    # ------------------------------------------------------------------
+    def screen_blocks(
+        self, thresholds_mw: Dict[str, float]
+    ) -> Dict[str, Dict[str, float]]:
+        """Compare the static bound against per-block SCAP thresholds.
+
+        Returns per block: ``bound_mw``, ``threshold_mw`` and
+        ``provably_safe`` (1.0/0.0 — the bound cannot be exceeded by
+        any pattern when safe).  Blocks without a threshold are
+        omitted.
+        """
+        bounds = self.block_upper_bounds_mw()
+        screen: Dict[str, Dict[str, float]] = {}
+        for block, limit in thresholds_mw.items():
+            bound = bounds.get(block, 0.0)
+            screen[block] = {
+                "bound_mw": bound,
+                "threshold_mw": limit,
+                "provably_safe": 1.0 if bound <= limit else 0.0,
+            }
+        return screen
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _to_mw(
+        energy_fj: Dict[str, float], window_ns: float
+    ) -> Dict[str, float]:
+        if window_ns <= 0.0:
+            return {b: 0.0 for b in energy_fj}
+        return {
+            b: joules_to_milliwatts(e, window_ns)
+            for b, e in energy_fj.items()
+        }

@@ -55,6 +55,10 @@ class RunReport:
     checkpoint_dir: Optional[str] = None
     #: Repr of the exception that ended a partial/failed run.
     error: Optional[str] = None
+    #: Summary of the pre-flow static DRC gate (see
+    #: :meth:`repro.drc.DrcReport.summary`); None when the gate was
+    #: skipped.
+    drc: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def completed_stages(self) -> List[str]:
@@ -118,6 +122,7 @@ class RunReport:
             "total_retries": self.total_retries,
             "checkpoint_dir": self.checkpoint_dir,
             "error": self.error,
+            "drc": self.drc,
         }
 
     def to_json(self, indent: int = 1) -> str:

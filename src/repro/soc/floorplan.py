@@ -101,6 +101,20 @@ class Floorplan:
         """Shortest distance from a point to the chip edge (pad ring)."""
         return min(x, y, self.width - x, self.height - y)
 
+    def adjacent_blocks(self, block: str, tol: float = 1e-6) -> List[str]:
+        """Blocks sharing a boundary segment (not just a corner) with
+        *block* — the neighbours its power-grid droop couples into."""
+        a = self.region(block)
+        return sorted(
+            name
+            for name, b in self.regions.items()
+            if name != block and _regions_abut(a, b, tol)
+        )
+
+    def adjacency(self) -> Dict[str, List[str]]:
+        """Block-name -> sorted adjacent block names, for every block."""
+        return {name: self.adjacent_blocks(name) for name in self.regions}
+
     def render_ascii(self, cols: int = 48, rows: int = 18) -> str:
         """ASCII rendering of the floorplan (the Figure 1 substitute)."""
         canvas = [[" "] * cols for _ in range(rows)]
@@ -113,6 +127,21 @@ class Floorplan:
         border = "+" + "-" * cols + "+"
         body = "\n".join("|" + "".join(row) + "|" for row in canvas)
         return f"{border}\n{body}\n{border}"
+
+
+def _regions_abut(a: BlockRegion, b: BlockRegion, tol: float) -> bool:
+    """True when two rectangles share a boundary segment of length > tol."""
+    x_overlap = min(a.x1, b.x1) - max(a.x0, b.x0)
+    y_overlap = min(a.y1, b.y1) - max(a.y0, b.y0)
+    share_vertical = (
+        x_overlap > tol
+        and (abs(a.y1 - b.y0) <= tol or abs(b.y1 - a.y0) <= tol)
+    )
+    share_horizontal = (
+        y_overlap > tol
+        and (abs(a.x1 - b.x0) <= tol or abs(b.x1 - a.x0) <= tol)
+    )
+    return share_vertical or share_horizontal
 
 
 def make_turbo_eagle_floorplan(chip_um: float = 1000.0) -> Floorplan:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -97,3 +99,81 @@ class TestFlowCli:
         ]) == 0
         out = capsys.readouterr().out
         assert "(from checkpoint)" not in out
+
+
+CORRUPT_VERILOG = """\
+module corrupt (
+    a,
+    clk_clka,
+    clk_clkb,
+    y
+);
+  input a;
+  input clk_clka;
+  input clk_clkb;
+  output y;
+  wire l1;
+  wire l2;
+  wire d0;
+  wire q0;
+  wire d1;
+  wire q1;
+  wire cont;
+  INVX1 u_loop1 (.A(l2), .Y(l1));
+  INVX1 u_loop2 (.A(l1), .Y(l2));
+  AND2X1 u_cont1 (.A(a), .B(q0), .Y(cont));
+  AND2X1 u_cont2 (.A(a), .B(q1), .Y(cont));
+  INVX1 u_d0 (.A(q1), .Y(d0));
+  INVX1 u_d1 (.A(q0), .Y(d1));
+  INVX1 u_y (.A(cont), .Y(y));
+  SDFFX1 f0 (.D(d0), .Q(q0), .CK(clk_clka));  // pragma edge=pos scan=1 chain=0:0
+  SDFFX1 f1 (.D(d1), .Q(q1), .CK(clk_clkb));  // pragma edge=pos scan=1 chain=0:0
+endmodule
+"""
+
+
+class TestDrcCli:
+    def test_generated_design_is_clean(self, capsys):
+        assert main(["drc", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_corrupted_netlist_reports_all_injected_defects(
+        self, tmp_path, capsys
+    ):
+        """The acceptance scenario: a netlist with an injected loop,
+        broken chain, clock-domain crossing and bus contention must
+        report each with its rule id, and exit non-zero."""
+        path = tmp_path / "corrupt.v"
+        path.write_text(CORRUPT_VERILOG)
+        json_path = tmp_path / "report.json"
+        code = main([
+            "drc", "--netlist", str(path), "--json", str(json_path),
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        for rule_id in ("STR-LOOP", "SCN-CHAIN", "CLK-CDC", "STR-DRIVE"):
+            assert rule_id in out, f"{rule_id} missing from report"
+        data = json.loads(json_path.read_text())
+        hit = {v["rule_id"] for v in data["violations"]}
+        assert {"STR-LOOP", "SCN-CHAIN", "CLK-CDC", "STR-DRIVE"} <= hit
+
+    def test_waivers_excuse_errors(self, tmp_path, capsys):
+        path = tmp_path / "corrupt.v"
+        path.write_text(CORRUPT_VERILOG)
+        waivers = tmp_path / "waivers.json"
+        waivers.write_text(json.dumps({"waivers": [
+            {"rule": "STR-*", "reason": "bring-up"},
+            {"rule": "SCN-*", "reason": "bring-up"},
+        ]}))
+        code = main([
+            "drc", "--netlist", str(path), "--waivers", str(waivers),
+        ])
+        assert code == 0
+        assert "(waived)" in capsys.readouterr().out
+
+    def test_fail_on_warn_trips_on_clean_design(self, capsys):
+        # the generated tiny SOC is ERROR-clean but carries WARN
+        # findings (CDC, lockup advisories): --fail-on warn must trip
+        assert main(["drc", "--scale", "tiny", "--fail-on", "warn"]) == 2
+        assert "FAIL" in capsys.readouterr().err

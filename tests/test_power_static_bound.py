@@ -1,0 +1,126 @@
+"""Soundness tests for the static SCAP upper bound (power pre-screen).
+
+The bound's whole value is the inequality
+
+    simulated SCAP  <=  per-pattern bound  <=  per-block bound
+
+for every block and every pattern.  These tests check it empirically
+against the real event timing simulator on the tiny generated SOC, and
+check that the screen is *useful*: at least one block exceeds its
+statistical threshold before any timing simulation has run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import derive_scap_thresholds
+from repro.pgrid.grid import GridModel
+from repro.power.calculator import ScapCalculator
+from repro.power.static_bound import StaticScapBound
+from repro.soc import build_turbo_eagle
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=3)
+
+
+@pytest.fixture(scope="module")
+def bound(design):
+    return StaticScapBound(design)
+
+
+@pytest.fixture(scope="module")
+def calculator(design):
+    return ScapCalculator(design)
+
+
+def _random_patterns(design, n, seed=11):
+    rng = np.random.default_rng(seed)
+    n_flops = design.netlist.n_flops
+    return [
+        {fi: int(b) for fi, b in enumerate(rng.integers(0, 2, n_flops))}
+        for _ in range(n)
+    ]
+
+
+class TestBoundSoundness:
+    def test_stw_floor_positive(self, bound):
+        assert bound.stw_floor_ns > 0.0
+
+    def test_block_bounds_cover_all_blocks(self, design, bound):
+        bounds = bound.block_upper_bounds_mw()
+        assert set(bounds) == set(design.blocks())
+        assert all(v >= 0.0 for v in bounds.values())
+
+    def test_simulated_scap_never_exceeds_bound(
+        self, design, bound, calculator
+    ):
+        block_bounds = bound.block_upper_bounds_mw()
+        for idx, v1 in enumerate(_random_patterns(design, 12)):
+            profile = calculator.profile_pattern(v1, index=idx)
+            pattern_bounds = bound.pattern_upper_bounds_mw(v1)
+            for block in design.blocks():
+                simulated = profile.scap_mw(block)
+                assert simulated <= pattern_bounds[block] + 1e-9, (
+                    f"pattern {idx} block {block}: simulated "
+                    f"{simulated} > pattern bound {pattern_bounds[block]}"
+                )
+                assert (
+                    pattern_bounds[block] <= block_bounds[block] + 1e-9
+                ), f"pattern bound above block bound for {block}"
+
+    def test_quiet_pattern_has_zero_bound(self, design, bound):
+        # all-zero fill cannot launch any transition on this design's
+        # monotone launch condition unless a flop toggles; the pattern
+        # bound must then agree that nothing switches
+        v1 = {fi: 0 for fi in range(design.netlist.n_flops)}
+        seeds = bound.toggling_launch_flops(v1)
+        bounds = bound.pattern_upper_bounds_mw(v1)
+        if not seeds:
+            assert all(v == 0.0 for v in bounds.values())
+        else:  # design does toggle on zeros: bound still covers all blocks
+            assert set(bounds) == set(design.blocks())
+
+
+class TestScreen:
+    def test_screen_flags_hot_block_before_simulation(self, design, bound):
+        model = GridModel.calibrated(design, nx=8, ny=8)
+        thresholds = derive_scap_thresholds(model, design.dominant_domain())
+        screen = bound.screen_blocks(thresholds)
+        assert set(screen) == set(design.blocks())
+        flagged = [b for b, row in screen.items() if not row["provably_safe"]]
+        # on the tiny SOC the bound is far above the few-mW statistical
+        # thresholds: the screen must route at least one block (B5, the
+        # paper's hot block, among them) to the noise-aware flow
+        assert flagged
+        assert "B5" in flagged
+
+    def test_screen_rows_are_self_consistent(self, design, bound):
+        thresholds = {b: 1e9 for b in design.blocks()}
+        screen = bound.screen_blocks(thresholds)
+        for row in screen.values():
+            assert row["provably_safe"]
+            assert row["bound_mw"] <= row["threshold_mw"]
+
+    def test_pwr_scap_rule_fires_with_thresholds(self, design):
+        from repro.drc import DrcContext, run_drc
+
+        model = GridModel.calibrated(design, nx=8, ny=8)
+        thresholds = derive_scap_thresholds(model, design.dominant_domain())
+        report = run_drc(
+            DrcContext.for_design(design, thresholds_mw=thresholds),
+            families=["power"],
+        )
+        assert "PWR-SCAP" in report.rules_run
+        assert report.by_rule("PWR-SCAP")  # at least one finding
+
+    def test_pwr_scap_skipped_without_thresholds(self, design):
+        from repro.drc import DrcContext, run_drc
+
+        report = run_drc(
+            DrcContext.for_design(design), families=["power"]
+        )
+        assert "PWR-SCAP" in report.rules_skipped
