@@ -1,0 +1,128 @@
+"""Overhead of the telemetry instrumentation when telemetry is off.
+
+Every hot loop now calls the ambient telemetry facade
+(``tel.span(...)``, ``tel.count(...)``); with the default
+:class:`~repro.obs.NullTelemetry` those calls must be noise.  Gating on
+a wall-clock ratio of two full flow runs is hopelessly jittery on
+shared CI runners, so the <5% budget is enforced with a call-counting
+model instead:
+
+1. run the flow under a counting facade to learn **N**, the number of
+   instrumentation calls the run actually makes (and assert the result
+   is bit-identical to the uninstrumented run);
+2. microbenchmark **c**, the cost of one null facade call, over enough
+   iterations that the number is stable;
+3. charge the disabled-telemetry path ``N * c`` against the measured
+   baseline runtime **T**: ``overhead_pct = 100 * N * c / T``.
+
+The model deliberately over-charges (it prices every call at the
+slowest facade method and ignores that the calls are already inside
+``T``), so a pass here is conservative.  Emits machine-readable
+``BENCH_obs.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core import run_noise_tolerant_flow
+from repro.obs import NullTelemetry
+from repro.soc import build_turbo_eagle
+
+OVERHEAD_BUDGET_PCT = 5.0
+_OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+
+
+class CountingTelemetry(NullTelemetry):
+    """Null facade that counts every instrumentation touch-point."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def span(self, name, **attrs):
+        self.calls += 1
+        return super().span(name)
+
+    def profile_stage(self, stage):
+        self.calls += 1
+        return super().profile_stage(stage)
+
+    def count(self, name, amount=1.0, **labels):
+        self.calls += 1
+
+    def gauge_set(self, name, value, **labels):
+        self.calls += 1
+
+    def observe(self, name, value, **labels):
+        self.calls += 1
+
+    def absorb_worker_events(self, events):
+        self.calls += 1
+
+
+def _null_call_cost_s(iterations: int = 200_000) -> float:
+    """Per-call cost of the slowest null facade operation."""
+    null = NullTelemetry()
+    worst = 0.0
+    for op in (
+        lambda: null.count("bench.counter", 1.0, label="x"),
+        lambda: null.span("bench.span", a=1, b=2).__enter__(),
+    ):
+        t0 = time.perf_counter()
+        for _ in range(iterations):
+            op()
+        worst = max(worst, (time.perf_counter() - t0) / iterations)
+    return worst
+
+
+def test_disabled_telemetry_overhead_under_budget():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    design = build_turbo_eagle(scale, seed=2007)
+
+    # Warm-up run (imports, cone caches), then the measured baseline.
+    run_noise_tolerant_flow(design, seed=1)
+    t0 = time.perf_counter()
+    baseline, _ = run_noise_tolerant_flow(design, seed=1)
+    baseline_s = time.perf_counter() - t0
+    assert baseline is not None
+
+    counter = CountingTelemetry()
+    counted, _ = run_noise_tolerant_flow(design, seed=1, telemetry=counter)
+
+    # Telemetry only observes: the flow's output must not change.
+    assert counted is not None
+    assert (
+        counted.pattern_set.as_matrix().tolist()
+        == baseline.pattern_set.as_matrix().tolist()
+    )
+
+    call_cost_s = _null_call_cost_s()
+    charged_s = counter.calls * call_cost_s
+    overhead_pct = 100.0 * charged_s / baseline_s
+
+    payload = {
+        "scale": scale,
+        "baseline_flow_s": round(baseline_s, 6),
+        "instrumentation_calls": counter.calls,
+        "null_call_ns": round(call_cost_s * 1e9, 2),
+        "charged_s": round(charged_s, 6),
+        "overhead_pct": round(overhead_pct, 4),
+        "budget_pct": OVERHEAD_BUDGET_PCT,
+        "bit_identical": True,
+    }
+    _OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+    print()
+    print(
+        f"disabled-telemetry overhead: {counter.calls} facade calls x "
+        f"{call_cost_s * 1e9:.0f} ns = {charged_s * 1000:.2f} ms charged "
+        f"against a {baseline_s * 1000:.0f} ms flow "
+        f"({overhead_pct:.3f}% <= {OVERHEAD_BUDGET_PCT}%)"
+    )
+    assert overhead_pct < OVERHEAD_BUDGET_PCT, (
+        f"null-telemetry instrumentation overhead {overhead_pct:.2f}% "
+        f"exceeds the {OVERHEAD_BUDGET_PCT}% budget"
+    )

@@ -1,307 +1,17 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""``python -m repro`` — thin shim over :mod:`repro.cli`.
 
-Commands
---------
-``casestudy``   run the whole paper reproduction and print the headline,
-``table``       print one of the paper's tables (1, 2, 3, 4),
-``atpg``        generate patterns and optionally write them as STIL,
-``scap``        screen a STIL pattern file against SCAP thresholds,
-``irmap``       print the dynamic IR-drop map of one pattern,
-``floorplan``   print the synthetic SOC floorplan,
-``flow``        run the staged noise-tolerant flow with checkpoint/resume,
-``drc``         static design-rule check / testability lint (no simulation).
-
-Every command accepts ``--scale`` (tiny/small/bench/full) and ``--seed``.
-``casestudy`` and ``export`` additionally take ``--checkpoint DIR`` to
-persist (and on rerun reuse) intermediate flow/validation results;
-``flow`` adds ``--stop-after``, ``--no-resume`` and ``--report`` for
-deliberate interruption, fresh restarts and machine-readable run
-reports.
+The console script (``[project.scripts] repro``) and the module entry
+point share the one :func:`repro.cli.main`, so flags, exit codes and
+logging behave identically whichever way the CLI is invoked.
 """
 
 from __future__ import annotations
 
-import argparse
 import sys
 
-from . import CaseStudy
-from .drc import FAIL_ON_CHOICES
-from .reporting import format_table
+from .cli import main
 
-
-def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", default="tiny",
-                        choices=["tiny", "small", "bench", "full"])
-    parser.add_argument("--seed", type=int, default=2007)
-
-
-def _study(args) -> CaseStudy:
-    return CaseStudy(
-        scale=args.scale, seed=args.seed,
-        checkpoint_dir=getattr(args, "checkpoint", None),
-    )
-
-
-def cmd_casestudy(args) -> int:
-    study = _study(args)
-    hc = study.headline_comparison()
-    rows = [{"metric": k, "value": v} for k, v in hc.items()]
-    print(format_table(rows, title="DAC'07 reproduction headline:"))
-    return 0
-
-
-def cmd_table(args) -> int:
-    study = _study(args)
-    if args.number == 1:
-        print(format_table(
-            [{"metric": k, "value": v} for k, v in study.table1().items()]
-        ))
-    elif args.number == 2:
-        print(format_table(study.table2()))
-    elif args.number == 3:
-        for label, rows in study.table3().items():
-            print(format_table(
-                [
-                    {
-                        "block": r.block,
-                        "avg_power_mW": r.avg_power_mw,
-                        "worst_VDD_V": r.worst_drop_vdd_v,
-                        "worst_VSS_V": r.worst_drop_vss_v,
-                    }
-                    for r in rows
-                ],
-                title=label,
-            ))
-    elif args.number == 4:
-        print(format_table(
-            [{"model": k, **v} for k, v in study.table4().items()]
-        ))
-    return 0
-
-
-def cmd_atpg(args) -> int:
-    from .atpg import AtpgEngine
-    from .dft import write_stil
-
-    study = _study(args)
-    design = study.design
-    engine = AtpgEngine(
-        design.netlist, design.dominant_domain(), scan=design.scan,
-        protocol=args.protocol, seed=1,
-    )
-    result = engine.run(fill=args.fill)
-    print(
-        f"{result.n_patterns} patterns, "
-        f"test coverage {result.test_coverage:.1%}"
-    )
-    if args.output:
-        with open(args.output, "w") as fh:
-            write_stil(result.pattern_set, fh, scan=design.scan)
-        print(f"wrote {args.output}")
-    return 0
-
-
-def cmd_scap(args) -> int:
-    from .core import validate_pattern_set
-    from .dft import read_stil
-
-    study = _study(args)
-    with open(args.patterns) as fh:
-        patterns = read_stil(fh)
-    report = validate_pattern_set(
-        study.calculator, patterns, study.thresholds_mw
-    )
-    print(
-        f"{len(report.violating_patterns())} of {report.n_patterns} "
-        f"patterns exceed a block threshold"
-    )
-    for v in report.violations[:20]:
-        print(
-            f"  pattern {v.pattern_index}: {v.block} "
-            f"{v.scap_mw:.2f} mW > {v.threshold_mw:.2f} mW"
-        )
-    return 1 if report.violations else 0
-
-
-def cmd_irmap(args) -> int:
-    from .pgrid import dynamic_ir_for_pattern, render_ir_map
-
-    study = _study(args)
-    flow = study.conventional()
-    pattern = flow.pattern_set[args.pattern]
-    _profile, timing = study.calculator.profile_pattern_with_timing(pattern)
-    ir = dynamic_ir_for_pattern(study.model, timing)
-    print(render_ir_map(
-        study.model.vdd_grid, ir.drop_vdd,
-        title=f"VDD IR-drop, pattern #{args.pattern}:",
-    ))
-    return 0
-
-
-def cmd_floorplan(args) -> int:
-    study = _study(args)
-    print(study.figure1())
-    return 0
-
-
-def cmd_flow(args) -> int:
-    from .core import run_noise_tolerant_flow
-    from .reporting import RUN_FAILED
-    from .soc import build_turbo_eagle
-
-    design = build_turbo_eagle(scale=args.scale, seed=args.seed)
-    result, report = run_noise_tolerant_flow(
-        design,
-        checkpoint_dir=args.checkpoint,
-        resume=args.resume,
-        max_patterns=args.max_patterns,
-        stop_after_stage=args.stop_after,
-        report_path=args.report,
-        seed=1,
-    )
-    for stage in report.stages:
-        origin = " (from checkpoint)" if stage.from_checkpoint else ""
-        print(f"  {stage.name}: {stage.status}{origin}")
-    print(f"flow status: {report.status}")
-    if report.error:
-        print(f"error: {report.error}", file=sys.stderr)
-    if result is not None:
-        print(
-            f"{result.n_patterns} patterns, "
-            f"test coverage {result.test_coverage:.1%}"
-        )
-    if args.report:
-        print(f"wrote run report to {args.report}")
-    # A deliberate --stop-after partial run exits 0; only a run that
-    # actually failed (or produced nothing) signals an error.
-    return 3 if report.status == RUN_FAILED or report.error else 0
-
-
-def cmd_drc(args) -> int:
-    from .drc import DrcContext, load_waivers, run_drc
-
-    waivers = load_waivers(args.waivers) if args.waivers else None
-    if args.netlist:
-        from .netlist.verilog import parse_verilog
-
-        with open(args.netlist) as fh:
-            netlist = parse_verilog(fh)
-        ctx = DrcContext.for_netlist(netlist)
-    else:
-        study = _study(args)
-        thresholds = study.thresholds_mw if args.power else None
-        ctx = DrcContext.for_design(study.design, thresholds_mw=thresholds)
-    report = run_drc(ctx, waivers=waivers)
-    print(report.format_text())
-    if args.json_out:
-        report.save(args.json_out)
-        print(f"wrote {args.json_out}")
-    gating = report.gating_violations(args.fail_on)
-    if gating:
-        print(
-            f"FAIL: {len(gating)} unwaived violation(s) at or above "
-            f"severity {args.fail_on!r}",
-            file=sys.stderr,
-        )
-        return 2
-    return 0
-
-
-def cmd_export(args) -> int:
-    from .reporting import export_case_study
-
-    study = _study(args)
-    written = export_case_study(study, args.out)
-    print(f"wrote {len(written)} artefacts to {args.out}/")
-    for path in written:
-        print(f"  {path}")
-    return 0
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Supply-noise-aware TDF ATPG (DAC'07 reproduction)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("casestudy", help="run the full reproduction")
-    _add_common(p)
-    p.add_argument("--checkpoint", help="persist/reuse results in DIR")
-    p.set_defaults(fn=cmd_casestudy)
-
-    p = sub.add_parser("table", help="print one paper table")
-    _add_common(p)
-    p.add_argument("number", type=int, choices=[1, 2, 3, 4])
-    p.set_defaults(fn=cmd_table)
-
-    p = sub.add_parser("atpg", help="generate transition patterns")
-    _add_common(p)
-    p.add_argument("--fill", default="random",
-                   choices=["random", "0", "1", "adjacent", "preferred"])
-    p.add_argument("--protocol", default="loc", choices=["loc", "los"])
-    p.add_argument("--output", help="write patterns as STIL")
-    p.set_defaults(fn=cmd_atpg)
-
-    p = sub.add_parser("scap", help="screen a STIL file against thresholds")
-    _add_common(p)
-    p.add_argument("patterns", help="STIL file from `repro atpg`")
-    p.set_defaults(fn=cmd_scap)
-
-    p = sub.add_parser("irmap", help="IR-drop map of one pattern")
-    _add_common(p)
-    p.add_argument("--pattern", type=int, default=0)
-    p.set_defaults(fn=cmd_irmap)
-
-    p = sub.add_parser("floorplan", help="print the floorplan")
-    _add_common(p)
-    p.set_defaults(fn=cmd_floorplan)
-
-    p = sub.add_parser("export", help="write every table/figure to files")
-    _add_common(p)
-    p.add_argument("--out", default="artifacts",
-                   help="output directory (default: artifacts/)")
-    p.add_argument("--checkpoint", help="persist/reuse results in DIR")
-    p.set_defaults(fn=cmd_export)
-
-    p = sub.add_parser(
-        "drc", help="static design-rule check / testability lint"
-    )
-    _add_common(p)
-    p.add_argument("--netlist", metavar="FILE",
-                   help="check a structural Verilog file instead of a "
-                        "generated design (scan rules use its "
-                        "`// pragma ... chain=c:p` metadata)")
-    p.add_argument("--json", dest="json_out", metavar="FILE",
-                   help="write the full violation report as JSON")
-    p.add_argument("--waivers", metavar="FILE",
-                   help="JSON waiver file excusing reviewed findings")
-    p.add_argument("--fail-on", default="error", choices=FAIL_ON_CHOICES,
-                   help="lowest severity that makes the command exit "
-                        "non-zero (default: error)")
-    p.add_argument("--power", action="store_true",
-                   help="derive SCAP thresholds and run the static "
-                        "power pre-screen (calibrates the power grid; "
-                        "generated designs only)")
-    p.set_defaults(fn=cmd_drc)
-
-    p = sub.add_parser(
-        "flow", help="staged noise-tolerant flow with checkpoint/resume"
-    )
-    _add_common(p)
-    p.add_argument("--checkpoint", help="stage checkpoint directory")
-    p.add_argument("--no-resume", dest="resume", action="store_false",
-                   help="ignore existing checkpoints and start fresh")
-    p.add_argument("--stop-after", type=int, metavar="N",
-                   help="deliberately stop after stage index N")
-    p.add_argument("--max-patterns", type=int,
-                   help="total pattern budget across stages")
-    p.add_argument("--report", help="write the RunReport JSON here")
-    p.set_defaults(fn=cmd_flow)
-
-    args = parser.parse_args(argv)
-    return args.fn(args)
-
+__all__ = ["main"]
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import AtpgError
 from ..netlist.netlist import Netlist
+from ..obs import current_telemetry
 from .faults import (
     TransitionFault,
     build_fault_universe,
@@ -145,6 +146,43 @@ class AtpgEngine:
 
     # ------------------------------------------------------------------
     def run(
+        self,
+        faults: Optional[Sequence[TransitionFault]] = None,
+        fill: str = "random",
+        max_patterns: Optional[int] = None,
+        shuffle: bool = True,
+        start_index: int = 0,
+        forced_bits: Optional[Dict[int, int]] = None,
+        block_fill: Optional[Dict[str, str]] = None,
+        n_detect: int = 1,
+    ) -> AtpgResult:
+        """Instrumented wrapper around :meth:`_run_impl` (see there for
+        the parameter reference)."""
+        tel = current_telemetry()
+        with tel.span(
+            "atpg.run", domain=self.domain, fill=fill, n_detect=n_detect
+        ) as span:
+            result = self._run_impl(
+                faults=faults,
+                fill=fill,
+                max_patterns=max_patterns,
+                shuffle=shuffle,
+                start_index=start_index,
+                forced_bits=forced_bits,
+                block_fill=block_fill,
+                n_detect=n_detect,
+            )
+            span.set(
+                n_patterns=len(result.pattern_set),
+                n_detected=len(result.detected),
+            )
+            tel.count("atpg.patterns_generated", len(result.pattern_set))
+            tel.count("atpg.faults_detected", len(result.detected))
+            tel.count("atpg.faults_aborted", len(result.aborted))
+            tel.count("atpg.faults_untestable", len(result.untestable))
+        return result
+
+    def _run_impl(
         self,
         faults: Optional[Sequence[TransitionFault]] = None,
         fill: str = "random",

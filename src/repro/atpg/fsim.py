@@ -33,6 +33,7 @@ import numpy as np
 from ..errors import AtpgError
 from ..netlist.levelize import levelize
 from ..netlist.netlist import Netlist
+from ..obs import current_telemetry
 from ..perf.pool import chunked, pool_map, resolve_workers
 from ..sim.logic import (
     LogicSim,
@@ -316,55 +317,73 @@ class FaultSimulator:
         if n_pat == 0 or not faults:
             return {}
 
+        tel = current_telemetry()
         eff = resolve_workers(n_workers, len(faults))
-        if eff > 1:
-            # Chunked fault partitions; a few chunks per worker keeps
-            # the load balanced when cone sizes are skewed.
-            chunks = chunked(faults, eff * 4)
-            results = pool_map(
-                _fsim_worker_task,
-                chunks,
-                n_workers=eff,
-                policy=exec_policy,
-                initializer=_fsim_worker_init,
-                initargs=(
-                    self.netlist,
-                    self.domain,
-                    v1_matrix,
-                    protocol,
-                    scan,
-                    v2_matrix,
-                    lane_width,
-                    drop,
-                ),
-            )
-            merged: Dict[TransitionFault, int] = {}
-            for part in results:
-                merged.update(part)
-            return merged
-
-        detections: Dict[TransitionFault, int] = {}
-        live = faults
-        for start in range(0, n_pat, lane_width):
-            if not live:
-                break
-            lane = v1_matrix[start:start + lane_width]
-            v2_lane = (
-                v2_matrix[start:start + lane_width]
-                if v2_matrix is not None
-                else None
-            )
-            words = self.run(
-                lane, live, protocol=protocol, scan=scan, v2_matrix=v2_lane
-            )
-            for fault, word in words.items():
-                prev = detections.get(fault)
-                detections[fault] = (
-                    word << start if prev is None else prev | (word << start)
+        with tel.span(
+            "fsim.run_batch",
+            domain=self.domain,
+            n_patterns=n_pat,
+            n_faults=len(faults),
+            workers=eff,
+            drop=drop,
+        ):
+            tel.count("fsim.faults_graded", len(faults))
+            if eff > 1:
+                # Chunked fault partitions; a few chunks per worker
+                # keeps the load balanced when cone sizes are skewed.
+                chunks = chunked(faults, eff * 4)
+                results = pool_map(
+                    _fsim_worker_task,
+                    chunks,
+                    n_workers=eff,
+                    policy=exec_policy,
+                    initializer=_fsim_worker_init,
+                    initargs=(
+                        self.netlist,
+                        self.domain,
+                        v1_matrix,
+                        protocol,
+                        scan,
+                        v2_matrix,
+                        lane_width,
+                        drop,
+                    ),
                 )
-            if drop and words:
-                live = [f for f in live if f not in detections]
-        return detections
+                merged: Dict[TransitionFault, int] = {}
+                for part in results:
+                    merged.update(part)
+                tel.count("fsim.faults_detected", len(merged))
+                return merged
+
+            detections: Dict[TransitionFault, int] = {}
+            live = faults
+            for start in range(0, n_pat, lane_width):
+                if not live:
+                    break
+                lane = v1_matrix[start:start + lane_width]
+                v2_lane = (
+                    v2_matrix[start:start + lane_width]
+                    if v2_matrix is not None
+                    else None
+                )
+                with tel.span("fsim.lane", start=start, live=len(live)):
+                    words = self.run(
+                        lane, live, protocol=protocol, scan=scan,
+                        v2_matrix=v2_lane,
+                    )
+                for fault, word in words.items():
+                    prev = detections.get(fault)
+                    detections[fault] = (
+                        word << start
+                        if prev is None
+                        else prev | (word << start)
+                    )
+                if drop and words:
+                    live = [f for f in live if f not in detections]
+            tel.count("fsim.faults_detected", len(detections))
+            if drop:
+                tel.count("fsim.faults_dropped", len(faults) - len(live))
+            return detections
 
 
 #: Per-worker simulator context installed by :func:`_fsim_worker_init`.

@@ -13,9 +13,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from contextlib import nullcontext
+
 from ..atpg.faults import build_fault_universe
 from ..config import ElectricalEnv
 from ..errors import ConfigError
+from ..obs import AnyTelemetry, current_telemetry, use_telemetry
 from ..pgrid.dynamic_ir import DynamicIrResult, dynamic_ir_for_pattern
 from ..pgrid.grid import GridModel
 from ..perf.cache import PatternProfileCache
@@ -45,6 +48,7 @@ class CaseStudy:
         n_workers: int = 1,
         checkpoint_dir: Optional[str] = None,
         drc: bool = True,
+        telemetry: Optional[AnyTelemetry] = None,
     ):
         """``n_workers`` fans fault simulation and SCAP grading out
         across a process pool (see :mod:`repro.perf`); results are
@@ -63,6 +67,11 @@ class CaseStudy:
         :class:`~repro.errors.DrcError` if the generated design has
         unwaived ERROR violations (it never should — the gate exists so
         modified generators and hand-edited netlists fail fast).
+
+        ``telemetry`` (a :class:`~repro.obs.Telemetry`) is scoped over
+        every heavy stage (flows, SCAP validation), so one facade
+        collects the whole case study's spans and metrics; ``None``
+        leaves the ambient facade alone.
         """
         self.design = build_turbo_eagle(scale, seed)
         self.domain = self.design.dominant_domain()
@@ -86,6 +95,7 @@ class CaseStudy:
                 target_statistical_drop_v=target_statistical_drop_v,
             )
             self._checkpoint = CheckpointStore(checkpoint_dir, fingerprint)
+        self.telemetry = telemetry
         self.drc_enabled = drc
         self._drc_gate_report = None
         self._model: Optional[GridModel] = None
@@ -159,6 +169,13 @@ class CaseStudy:
             key += f"_max{max_patterns}"
         return key
 
+    def _tel_scope(self):
+        """Scope this study's telemetry (no-op when none was given, so
+        an ambient facade installed by the caller still applies)."""
+        if self.telemetry is not None:
+            return use_telemetry(self.telemetry)
+        return nullcontext(current_telemetry())
+
     def conventional(self, max_patterns: Optional[int] = None) -> FlowResult:
         """The random-fill baseline flow (cached + checkpointed)."""
         if "conventional" not in self._flows:
@@ -174,7 +191,9 @@ class CaseStudy:
                     backtrack_limit=self.backtrack_limit,
                     n_workers=self.n_workers,
                 )
-                result = flow.run(max_patterns=max_patterns)
+                with self._tel_scope() as tel:
+                    with tel.span("flow.run", flow="conventional"):
+                        result = flow.run(max_patterns=max_patterns)
                 if self._checkpoint is not None:
                     self._checkpoint.save(
                         key, result, meta={"patterns": result.n_patterns}
@@ -204,9 +223,12 @@ class CaseStudy:
                 stage_checkpoint = (
                     self._checkpoint if max_patterns is None else None
                 )
-                result = flow.run(
-                    max_patterns=max_patterns, checkpoint=stage_checkpoint
-                )
+                with self._tel_scope() as tel:
+                    with tel.span("flow.run", flow="noise_aware_staged"):
+                        result = flow.run(
+                            max_patterns=max_patterns,
+                            checkpoint=stage_checkpoint,
+                        )
                 if self._checkpoint is not None:
                     self._checkpoint.save(
                         key, result, meta={"patterns": result.n_patterns}
@@ -227,12 +249,14 @@ class CaseStudy:
             if self._checkpoint is not None and self._checkpoint.has(key):
                 self._validations[flow_name] = self._checkpoint.load(key)
             else:
-                report = validate_pattern_set(
-                    self.calculator, flow.pattern_set, self.thresholds_mw,
-                    n_workers=self.n_workers,
-                    checkpoint=self._checkpoint,
-                    checkpoint_key=key,
-                )
+                with self._tel_scope():
+                    report = validate_pattern_set(
+                        self.calculator, flow.pattern_set,
+                        self.thresholds_mw,
+                        n_workers=self.n_workers,
+                        checkpoint=self._checkpoint,
+                        checkpoint_key=key,
+                    )
                 if self._checkpoint is not None:
                     self._checkpoint.save(
                         key, report,

@@ -17,6 +17,7 @@ pattern-count increase (Figure 4).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from ..atpg.faults import TransitionFault, build_fault_universe, collapse_faults
 from ..atpg.fsim import FaultSimulator, first_detection_index
 from ..atpg.patterns import PatternSet
 from ..errors import ConfigError, DrcError
+from ..obs import AnyTelemetry, current_telemetry, use_telemetry
 from ..perf.resilient import collect_reports
 from ..reporting.checkpoint import CheckpointStore, config_fingerprint
 from ..reporting.runreport import (
@@ -69,11 +71,12 @@ def run_drc_gate(
 
     if isinstance(waivers, str):
         waivers = load_waivers(waivers)
-    report = run_drc(
-        DrcContext.for_design(design),
-        waivers=waivers,
-        families=DRC_GATE_FAMILIES,
-    )
+    with current_telemetry().span("flow.drc_gate", design=design.name):
+        report = run_drc(
+            DrcContext.for_design(design),
+            waivers=waivers,
+            families=DRC_GATE_FAMILIES,
+        )
     if run_report is not None:
         run_report.drc = report.summary()
     gating = report.gating_violations("error")
@@ -251,6 +254,7 @@ class NoiseAwarePatternGenerator:
         the run after that many leading stages (a deliberate
         interruption, used to exercise resume paths).
         """
+        tel = current_telemetry()
         combined = PatternSet(self.domain, fill=self.fill)
         step_results: List[AtpgResult] = []
         boundaries: List[int] = []
@@ -272,6 +276,8 @@ class NoiseAwarePatternGenerator:
 
             if checkpoint is not None and checkpoint.has(name):
                 payload = checkpoint.load(name)
+                tel.count("flow.stages_resumed")
+                tel.log.info("stage %s loaded from checkpoint", name)
                 for pattern in payload["patterns"]:
                     combined.append(pattern)
                 cross_detected.update(payload["graded"])
@@ -290,15 +296,24 @@ class NoiseAwarePatternGenerator:
                     )
                 continue
 
+            stage_started = time.time()
             try:
-                with collect_reports() as exec_reports:
+                with tel.span("atpg.stage", stage=name, blocks=list(step)), \
+                        tel.profile_stage(name), \
+                        collect_reports() as exec_reports:
                     outcome = self._run_stage(
                         fsim, step, combined, next_index, max_patterns
                     )
             except Exception as exc:
                 if run_report is not None:
                     record = run_report.record_stage(
-                        name, "failed", detail={"error": repr(exc)}
+                        name, "failed",
+                        detail={
+                            "error": repr(exc),
+                            "elapsed_s": round(
+                                time.time() - stage_started, 6
+                            ),
+                        },
                     )
                     for later in range(idx + 1, len(self.stage_plan)):
                         run_report.record_stage(
@@ -344,6 +359,9 @@ class NoiseAwarePatternGenerator:
                         "patterns": len(result.pattern_set),
                         "detected": len(result.detected),
                         "cross_detected": len(graded),
+                        "elapsed_s": round(
+                            time.time() - stage_started, 6
+                        ),
                     },
                 )
                 for exec_report in exec_reports:
@@ -443,6 +461,7 @@ def run_noise_tolerant_flow(
     report_path: Optional[str] = None,
     drc: bool = True,
     drc_waivers=None,
+    telemetry: Optional[AnyTelemetry] = None,
     **generator_kwargs,
 ) -> Tuple[Optional[FlowResult], RunReport]:
     """The staged noise-aware flow as a fault-tolerant, resumable run.
@@ -468,65 +487,95 @@ def run_noise_tolerant_flow(
     DRC failure always raises :class:`~repro.errors.DrcError` (after
     writing the report): generating patterns on a netlist that fails
     its design rules would waste every downstream stage.
-    """
-    generator = NoiseAwarePatternGenerator(
-        design, domain, **generator_kwargs
-    )
-    report = RunReport(
-        flow="noise_aware_staged", checkpoint_dir=checkpoint_dir
-    )
-    if drc:
-        try:
-            run_drc_gate(design, waivers=drc_waivers, run_report=report)
-        except DrcError:
-            report.status = RUN_FAILED
-            report.error = "DrcError: unwaived ERROR violations"
-            if report_path is not None:
-                report.save(report_path)
-            raise
-    checkpoint = None
-    if checkpoint_dir is not None:
-        netlist = design.netlist
-        fingerprint = config_fingerprint(
-            design=(
-                netlist.name, netlist.n_nets, netlist.n_gates,
-                netlist.n_flops,
-            ),
-            domain=generator.domain,
-            stage_plan=tuple(generator.stage_plan),
-            fill=generator.fill,
-            isolate=generator.isolate_untargeted,
-            power_critical=generator.power_critical_blocks,
-            max_patterns=max_patterns,
-            engine_seed=generator.engine.rng.bit_generator.state["state"],
-        )
-        checkpoint = CheckpointStore(checkpoint_dir, fingerprint)
-        if not resume:
-            checkpoint.clear()
 
-    flow_result: Optional[FlowResult] = None
-    try:
-        flow_result = generator.run(
-            max_patterns=max_patterns,
-            checkpoint=checkpoint,
-            run_report=report,
-            stop_after_stage=stop_after_stage,
+    *telemetry* (a :class:`~repro.obs.Telemetry`) scopes tracing,
+    metrics and profiling over the whole run — every layer down to the
+    worker chunks reports into it, and its snapshot lands in
+    ``report.telemetry``.  ``None`` (the default) runs with the null
+    facade: no signals, bit-identical results.
+    """
+    with use_telemetry(telemetry) as tel:
+        generator = NoiseAwarePatternGenerator(
+            design, domain, **generator_kwargs
         )
-        if report.status != RUN_PARTIAL:
-            report.status = RUN_COMPLETED
-    except Exception as exc:
-        report.status = (
-            RUN_PARTIAL if report.completed_stages() else RUN_FAILED
+        report = RunReport(
+            flow="noise_aware_staged", checkpoint_dir=checkpoint_dir
         )
-        report.error = repr(exc)
+
+        def finalize() -> None:
+            report.telemetry = tel.snapshot()
+
+        with tel.span(
+            "flow.run", flow="noise_aware_staged", design=design.name
+        ):
+            tel.log.info(
+                "flow start: design=%s domain=%s", design.name,
+                generator.domain,
+            )
+            if drc:
+                try:
+                    run_drc_gate(
+                        design, waivers=drc_waivers, run_report=report
+                    )
+                except DrcError:
+                    report.status = RUN_FAILED
+                    report.error = "DrcError: unwaived ERROR violations"
+                    finalize()
+                    if report_path is not None:
+                        report.save(report_path)
+                    raise
+            checkpoint = None
+            if checkpoint_dir is not None:
+                netlist = design.netlist
+                fingerprint = config_fingerprint(
+                    design=(
+                        netlist.name, netlist.n_nets, netlist.n_gates,
+                        netlist.n_flops,
+                    ),
+                    domain=generator.domain,
+                    stage_plan=tuple(generator.stage_plan),
+                    fill=generator.fill,
+                    isolate=generator.isolate_untargeted,
+                    power_critical=generator.power_critical_blocks,
+                    max_patterns=max_patterns,
+                    engine_seed=generator.engine.rng.bit_generator.state[
+                        "state"
+                    ],
+                )
+                checkpoint = CheckpointStore(checkpoint_dir, fingerprint)
+                if not resume:
+                    checkpoint.clear()
+
+            flow_result: Optional[FlowResult] = None
+            try:
+                flow_result = generator.run(
+                    max_patterns=max_patterns,
+                    checkpoint=checkpoint,
+                    run_report=report,
+                    stop_after_stage=stop_after_stage,
+                )
+                if report.status != RUN_PARTIAL:
+                    report.status = RUN_COMPLETED
+            except Exception as exc:
+                report.status = (
+                    RUN_PARTIAL if report.completed_stages() else RUN_FAILED
+                )
+                report.error = repr(exc)
+                tel.log.error("flow %s: %r", report.status, exc)
+                finalize()
+                if report_path is not None:
+                    report.save(report_path)
+                if strict:
+                    raise
+                return None, report
+        tel.log.info(
+            "flow %s: %d pattern(s)", report.status,
+            flow_result.n_patterns if flow_result is not None else 0,
+        )
+        finalize()
         if report_path is not None:
             report.save(report_path)
-        if strict:
-            raise
-        return None, report
-    if report_path is not None:
-        report.save(report_path)
-    return flow_result, report
+        return flow_result, report
 
 
 def _grade_existing(
@@ -543,10 +592,15 @@ def _grade_existing(
     lanes are never simulated) and optional fault-partition workers.
     """
     matrix = pattern_set.as_matrix()
-    words = fsim.run_batch(
-        matrix, targets, lane_width=lane_width, drop=True,
-        n_workers=n_workers,
-    )
+    with current_telemetry().span(
+        "flow.grade_existing",
+        n_patterns=matrix.shape[0],
+        n_targets=len(targets),
+    ):
+        words = fsim.run_batch(
+            matrix, targets, lane_width=lane_width, drop=True,
+            n_workers=n_workers,
+        )
     return {
         fault: first_detection_index(word) for fault, word in words.items()
     }

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs import current_telemetry
 from ..perf.cache import digest_key
 from ..power.calculator import ScapCalculator, _normalize_patterns
 from ..power.scap import PatternPowerProfile
@@ -100,23 +101,31 @@ def validate_pattern_set(
     of the chunk's launch states plus the calculator's cache context,
     so stale or foreign checkpoints are never reused.
     """
-    if checkpoint is not None:
-        profiles = _profile_with_checkpoint(
-            calculator, pattern_set, n_workers,
-            checkpoint, checkpoint_key, checkpoint_chunk,
-        )
-    else:
-        profiles = calculator.profile_patterns(
-            pattern_set, n_workers=n_workers
-        )
-    violations: List[ScapViolation] = []
-    for profile in profiles:
-        for block, limit in thresholds_mw.items():
-            scap = profile.scap_mw(block)
-            if scap > limit:
-                violations.append(
-                    ScapViolation(profile.pattern_index, block, scap, limit)
-                )
+    tel = current_telemetry()
+    with tel.span(
+        "flow.validate", domain=calculator.domain, workers=n_workers
+    ):
+        if checkpoint is not None:
+            profiles = _profile_with_checkpoint(
+                calculator, pattern_set, n_workers,
+                checkpoint, checkpoint_key, checkpoint_chunk,
+            )
+        else:
+            profiles = calculator.profile_patterns(
+                pattern_set, n_workers=n_workers
+            )
+        violations: List[ScapViolation] = []
+        for profile in profiles:
+            for block, limit in thresholds_mw.items():
+                scap = profile.scap_mw(block)
+                if scap > limit:
+                    violations.append(
+                        ScapViolation(
+                            profile.pattern_index, block, scap, limit
+                        )
+                    )
+        for violation in violations:
+            tel.count("scap.violations", block=violation.block)
     return ValidationReport(
         domain=calculator.domain,
         thresholds_mw=dict(thresholds_mw),
@@ -155,6 +164,7 @@ def _profile_with_checkpoint(
         key = f"{key_prefix}_rows{start}-{stop}_{digest[:12]}"
         if checkpoint.has(key):
             part = checkpoint.load(key)
+            current_telemetry().count("flow.checkpoint_resumes")
         else:
             part = calculator.profile_patterns(sub, n_workers=n_workers)
             checkpoint.save(key, part, meta={"rows": [start, stop]})

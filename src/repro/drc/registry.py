@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
+from ..obs import current_telemetry
 from .context import DrcContext
 from .violation import DrcReport, Violation
 from .waivers import WaiverSet
@@ -149,16 +150,25 @@ def run_drc(
             design_name = ctx.design.name
         else:
             design_name = ctx.netlist.name or "netlist"
+    tel = current_telemetry()
     report = DrcReport(design_name=design_name)
-    for rule in registry.rules(families):
-        why_not = rule.missing_requirement(ctx)
-        if why_not is not None:
-            report.rules_skipped[rule.rule_id] = why_not
-            continue
-        report.rules_run.append(rule.rule_id)
-        report.violations.extend(rule.fn(ctx))
-    if waivers is not None and len(waivers):
-        report.waivers_applied = waivers.apply(report.violations)
+    with tel.span("drc.run", design=design_name):
+        for rule in registry.rules(families):
+            why_not = rule.missing_requirement(ctx)
+            if why_not is not None:
+                report.rules_skipped[rule.rule_id] = why_not
+                continue
+            report.rules_run.append(rule.rule_id)
+            with tel.span("drc.rule", rule=rule.rule_id):
+                found = rule.fn(ctx)
+            report.violations.extend(found)
+            tel.count("drc.rules_run")
+            if found:
+                tel.count(
+                    "drc.violations", len(found), family=rule.family
+                )
+        if waivers is not None and len(waivers):
+            report.waivers_applied = waivers.apply(report.violations)
     return report
 
 

@@ -1,0 +1,83 @@
+"""Structured stdlib logging carrying a run id.
+
+All repro loggers hang off the ``"repro"`` root; records render as::
+
+    2026-08-05 12:00:00,123 INFO repro.core.flow run=1a2b3c stage=... msg
+
+``run=<id>`` comes from a :class:`logging.LoggerAdapter` built by
+:func:`run_logger`; records emitted without an adapter show ``run=-``
+(a filter backfills the field so one formatter serves both).  The CLI's
+``--log-level`` flag maps straight onto :func:`setup_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, MutableMapping, Optional, Tuple
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s run=%(run_id)s %(message)s"
+
+
+class _RunIdFilter(logging.Filter):
+    """Backfill ``run_id`` on records that did not come via an adapter."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "run_id"):
+            record.run_id = "-"
+        return True
+
+
+def setup_logging(
+    level: str = "warning", stream: Optional[Any] = None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root logger.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers, so every CLI subcommand can call it unconditionally.
+    """
+    if level.lower() not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; pick one of {LOG_LEVELS}"
+        )
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, "_repro_obs_handler", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler._repro_obs_handler = True  # type: ignore[attr-defined]
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler.addFilter(_RunIdFilter())
+        logger.addHandler(handler)
+        logger.propagate = False
+    elif stream is not None:
+        try:
+            handler.setStream(stream)  # type: ignore[attr-defined]
+        except ValueError:
+            # setStream flushes the outgoing stream first; if that
+            # stream is already closed (common under test harnesses
+            # that swap sys.stderr), attach the new one directly.
+            handler.stream = stream  # type: ignore[attr-defined]
+    return logger
+
+
+class RunLoggerAdapter(logging.LoggerAdapter):
+    """Adapter stamping every record with the run id."""
+
+    def process(
+        self, msg: Any, kwargs: MutableMapping[str, Any]
+    ) -> Tuple[Any, MutableMapping[str, Any]]:
+        extra = dict(kwargs.get("extra") or {})
+        extra.setdefault("run_id", self.extra["run_id"])
+        kwargs["extra"] = extra
+        return msg, kwargs
+
+
+def run_logger(run_id: str, name: str = "repro.run") -> RunLoggerAdapter:
+    """A logger whose records carry ``run=<run_id>``."""
+    return RunLoggerAdapter(logging.getLogger(name), {"run_id": run_id})

@@ -65,6 +65,7 @@ from ..errors import (
     TransientError,
     WorkerCrashError,
 )
+from ..obs import current_telemetry, worker_event
 from . import chaos as _chaos
 
 
@@ -218,16 +219,46 @@ def collect_reports():
 # ----------------------------------------------------------------------
 # worker-side entry point
 # ----------------------------------------------------------------------
+@dataclass
+class _WorkerEnvelope:
+    """A chunk result plus the worker's span events for it.
+
+    When the parent run is tracing, workers wrap their result in this
+    envelope so span timing rides home on the existing chunk-result
+    channel (no side channel, works under fork and spawn); the parent
+    unwraps it and feeds the events to its tracer.
+    """
+
+    value: Any
+    events: List[Dict[str, Any]]
+
+
 def _invoke_chunk(
     task: Callable[[Any], Any],
     item: Any,
     chunk_index: int,
     attempt: int,
     spec,
+    collect_spans: bool = False,
 ) -> Any:
     """Run one chunk in a worker, applying any armed chaos first."""
     _chaos.apply(spec, chunk_index, attempt)
-    return task(item)
+    if not collect_spans:
+        return task(item)
+    started = time.time()
+    value = task(item)
+    return _WorkerEnvelope(
+        value,
+        [
+            worker_event(
+                "exec.chunk",
+                started,
+                time.time() - started,
+                chunk=chunk_index,
+                attempt=attempt,
+            )
+        ],
+    )
 
 
 def _run_initializer(initializer, initargs) -> None:
@@ -291,6 +322,8 @@ def resilient_map(
     _LAST_REPORT = report
     if _COLLECTOR is not None:
         _COLLECTOR.append(report)
+    tel = current_telemetry()
+    tel.count("exec.chunks", len(items))
     started = time.monotonic()
     try:
         if not items:
@@ -327,24 +360,29 @@ def resilient_map(
         )
     finally:
         report.elapsed_s = time.monotonic() - started
+        tel.count("exec.retries", report.total_retries)
+        tel.observe("exec.map_s", report.elapsed_s)
 
 
 def _serial_with_retries(
     task, items, initializer, initargs, policy, report
 ) -> List[Any]:
     """The serial path: same retry semantics, no pool, no chaos."""
+    tel = current_telemetry()
     _run_initializer(initializer, initargs)
     out: List[Any] = []
     for ci, item in enumerate(items):
         attempt = 0
         while True:
             try:
-                out.append(task(item))
+                with tel.span("exec.chunk", chunk=ci, attempt=attempt):
+                    out.append(task(item))
                 break
             except policy.retry_on as exc:
                 report.failures.append(
                     ChunkFailure(ci, attempt, "transient", repr(exc))
                 )
+                tel.count("exec.failures", kind="transient")
                 attempt += 1
                 if attempt >= policy.max_attempts:
                     report.chunk_attempts[ci] = attempt
@@ -362,6 +400,7 @@ def _serial_with_retries(
                 report.failures.append(
                     ChunkFailure(ci, attempt, "error", repr(exc))
                 )
+                tel.count("exec.failures", kind="error")
                 raise ExecutionError(
                     f"task failed on chunk {ci} "
                     f"(attempt {attempt + 1}): {exc!r}",
@@ -379,6 +418,8 @@ def _pooled_map(
     spec = _chaos.active_spec()
     if spec is not None and spec.is_empty():
         spec = None
+    tel = current_telemetry()
+    collect_spans = tel.wants_worker_spans
 
     results: Dict[int, Any] = {}
     attempts: Dict[int, int] = {ci: 0 for ci in range(len(items))}
@@ -397,6 +438,9 @@ def _pooled_map(
     def charge(ci: int, att: int, kind: str, error: str) -> None:
         """Log a failed attempt and burn it; raise when exhausted."""
         report.failures.append(ChunkFailure(ci, att, kind, error))
+        tel.count("exec.failures", kind=kind)
+        if kind == "crash":
+            tel.count("exec.worker_crashes")
         attempts[ci] = att + 1
         if att + 1 >= policy.max_attempts:
             _kill_pool(pool)
@@ -428,6 +472,7 @@ def _pooled_map(
         _kill_pool(pool)
         pool = None
         report.pool_rebuilds += 1
+        tel.count("exec.pool_rebuilds")
         if report.pool_rebuilds <= policy.max_pool_rebuilds:
             try:
                 pool = new_pool()
@@ -449,10 +494,12 @@ def _pooled_map(
             stacklevel=4,
         )
         report.serial_fallback = True
+        tel.count("exec.serial_fallbacks")
         _run_initializer(initializer, initargs)
         remaining = sorted(set(pending))
         for ci in remaining:
-            results[ci] = task(items[ci])
+            with tel.span("exec.chunk", chunk=ci, fallback=True):
+                results[ci] = task(items[ci])
             attempts[ci] += 1
             report.chunk_attempts[ci] = attempts[ci]
         pending.clear()
@@ -481,7 +528,8 @@ def _pooled_map(
                 att = attempts[ci]
                 try:
                     fut = pool.submit(
-                        _invoke_chunk, task, items[ci], ci, att, spec
+                        _invoke_chunk, task, items[ci], ci, att, spec,
+                        collect_spans,
                     )
                 except (BrokenProcessPool, RuntimeError):
                     pending.appendleft(ci)
@@ -513,7 +561,11 @@ def _pooled_map(
                 for fut in done:
                     ci, att, _ = inflight.pop(fut)
                     try:
-                        results[ci] = fut.result()
+                        value = fut.result()
+                        if isinstance(value, _WorkerEnvelope):
+                            tel.absorb_worker_events(value.events)
+                            value = value.value
+                        results[ci] = value
                         attempts[ci] = att + 1
                         report.chunk_attempts[ci] = att + 1
                     except BrokenProcessPool:

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..config import VDD_NOMINAL
 from ..errors import ConfigError
+from ..obs import current_telemetry
 from ..perf.cache import PatternProfileCache, digest_key
 from ..perf.pool import chunk_slices, pool_map, resolve_workers
 from ..sim.delays import DelayModel
@@ -256,49 +257,64 @@ class ScapCalculator:
         lane_width = max(1, min(int(lane_width), MAX_LANE_WIDTH))
         cache = self.cache if protocol == "loc" and v2_matrix is None else None
 
-        # Resolve cache hits first; only misses are simulated (identical
-        # launch states inside the batch collapse to one simulation).
-        out: List[Optional[PatternPowerProfile]] = [None] * n_pat
-        keys: List[Optional[str]] = [None] * n_pat
-        miss_rows: List[int] = []
-        if cache is not None:
-            first_row_of_key: Dict[str, int] = {}
-            for row in range(n_pat):
-                key = self._profile_key(matrix[row], protocol)
-                keys[row] = key
-                hit = cache.get(key)
-                if hit is not None:
-                    out[row] = dataclasses.replace(
-                        hit, pattern_index=indices[row]
-                    )
-                elif key in first_row_of_key:
-                    out[row] = first_row_of_key[key]  # placeholder row id
-                else:
-                    first_row_of_key[key] = row
-                    miss_rows.append(row)
-        else:
-            miss_rows = list(range(n_pat))
-
-        if miss_rows:
-            miss_matrix = matrix[miss_rows]
-            miss_indices = [indices[r] for r in miss_rows]
-            miss_v2 = v2_matrix[miss_rows] if v2_matrix is not None else None
-            profiles = self._dispatch(
-                miss_indices, miss_matrix, protocol, miss_v2,
-                lane_width, n_workers, exec_policy,
-            )
-            for row, profile in zip(miss_rows, profiles):
-                out[row] = profile
-                if cache is not None:
-                    cache.put(keys[row], profile)
-
-        # Second pass: rows that aliased an in-batch duplicate.
-        for row in range(n_pat):
-            if isinstance(out[row], int):
-                out[row] = dataclasses.replace(
-                    out[out[row]], pattern_index=indices[row]
+        tel = current_telemetry()
+        with tel.span(
+            "scap.profile_patterns",
+            domain=self.domain,
+            engine=self.engine,
+            n_patterns=n_pat,
+        ):
+            # Resolve cache hits first; only misses are simulated
+            # (identical launch states inside the batch collapse to one
+            # simulation).
+            out: List[Optional[PatternPowerProfile]] = [None] * n_pat
+            keys: List[Optional[str]] = [None] * n_pat
+            miss_rows: List[int] = []
+            if cache is not None:
+                first_row_of_key: Dict[str, int] = {}
+                for row in range(n_pat):
+                    key = self._profile_key(matrix[row], protocol)
+                    keys[row] = key
+                    hit = cache.get(key)
+                    if hit is not None:
+                        out[row] = dataclasses.replace(
+                            hit, pattern_index=indices[row]
+                        )
+                    elif key in first_row_of_key:
+                        out[row] = first_row_of_key[key]  # placeholder row
+                    else:
+                        first_row_of_key[key] = row
+                        miss_rows.append(row)
+                tel.count(
+                    "scap.cache_hits", n_pat - len(miss_rows)
                 )
-        return out  # type: ignore[return-value]
+                tel.count("scap.cache_misses", len(miss_rows))
+            else:
+                miss_rows = list(range(n_pat))
+
+            if miss_rows:
+                miss_matrix = matrix[miss_rows]
+                miss_indices = [indices[r] for r in miss_rows]
+                miss_v2 = (
+                    v2_matrix[miss_rows] if v2_matrix is not None else None
+                )
+                profiles = self._dispatch(
+                    miss_indices, miss_matrix, protocol, miss_v2,
+                    lane_width, n_workers, exec_policy,
+                )
+                for row, profile in zip(miss_rows, profiles):
+                    out[row] = profile
+                    if cache is not None:
+                        cache.put(keys[row], profile)
+
+            # Second pass: rows that aliased an in-batch duplicate.
+            for row in range(n_pat):
+                if isinstance(out[row], int):
+                    out[row] = dataclasses.replace(
+                        out[out[row]], pattern_index=indices[row]
+                    )
+            tel.count("scap.patterns_profiled", n_pat)
+            return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def _dispatch(
@@ -357,17 +373,23 @@ class ScapCalculator:
         v2_matrix: Optional[np.ndarray],
         lane_width: int,
     ) -> List[PatternPowerProfile]:
+        tel = current_telemetry()
         profiles: List[PatternPowerProfile] = []
         for start in range(0, matrix.shape[0], lane_width):
             stop = start + lane_width
-            profiles.extend(
-                self._profile_lane(
-                    indices[start:stop],
-                    matrix[start:stop],
-                    protocol,
-                    v2_matrix[start:stop] if v2_matrix is not None else None,
+            with tel.span(
+                "scap.lane", start=start, width=min(stop, matrix.shape[0]) - start
+            ):
+                profiles.extend(
+                    self._profile_lane(
+                        indices[start:stop],
+                        matrix[start:stop],
+                        protocol,
+                        v2_matrix[start:stop]
+                        if v2_matrix is not None
+                        else None,
+                    )
                 )
-            )
         return profiles
 
     def _profile_lane(

@@ -59,6 +59,10 @@ class RunReport:
     #: :meth:`repro.drc.DrcReport.summary`); None when the gate was
     #: skipped.
     drc: Optional[Dict[str, Any]] = None
+    #: Telemetry digest (run id, metric snapshot, trace-event count,
+    #: profiler hotspots) from :meth:`repro.obs.Telemetry.snapshot`;
+    #: None when the run used the null telemetry.
+    telemetry: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def completed_stages(self) -> List[str]:
@@ -123,6 +127,7 @@ class RunReport:
             "checkpoint_dir": self.checkpoint_dir,
             "error": self.error,
             "drc": self.drc,
+            "telemetry": self.telemetry,
         }
 
     def to_json(self, indent: int = 1) -> str:
@@ -133,3 +138,60 @@ class RunReport:
         with open(path, "w") as fh:
             fh.write(self.to_json() + "\n")
         return path
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Derived keys (``completed_stages`` …) are recomputed, not
+        trusted; unknown keys are ignored so newer writers stay
+        loadable by older readers and vice versa.
+        """
+        report = cls(
+            flow=str(data.get("flow", "unknown")),
+            status=str(data.get("status", RUN_COMPLETED)),
+            checkpoint_dir=data.get("checkpoint_dir"),
+            error=data.get("error"),
+            drc=data.get("drc"),
+            telemetry=data.get("telemetry"),
+        )
+        for stage in data.get("stages", []):
+            report.stages.append(
+                StageRecord(
+                    name=str(stage.get("name", "?")),
+                    status=str(stage.get("status", "completed")),
+                    from_checkpoint=bool(stage.get("from_checkpoint")),
+                    detail=dict(stage.get("detail") or {}),
+                )
+            )
+        report.failures = [dict(f) for f in data.get("failures", [])]
+        report.retries = {
+            str(k): int(v) for k, v in (data.get("retries") or {}).items()
+        }
+        return report
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        """Round-trip partner of :meth:`save`."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    def stage_times(self) -> List[Dict[str, Any]]:
+        """Per-stage wall-time rows for ``repro flow --report``.
+
+        Stages recorded without an ``elapsed_s`` detail (pending
+        stages, checkpoint loads from older writers) report 0.0.
+        """
+        return [
+            {
+                "stage": s.name,
+                "status": s.status
+                + (" (checkpoint)" if s.from_checkpoint else ""),
+                "elapsed_s": round(
+                    float(s.detail.get("elapsed_s", 0.0)), 3
+                ),
+                "patterns": s.detail.get("patterns", ""),
+            }
+            for s in self.stages
+        ]

@@ -177,3 +177,144 @@ class TestDrcCli:
         # findings (CDC, lockup advisories): --fail-on warn must trip
         assert main(["drc", "--scale", "tiny", "--fail-on", "warn"]) == 2
         assert "FAIL" in capsys.readouterr().err
+
+
+class TestVersionAndLogging:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        from repro.cli import package_version
+
+        assert out.strip() == f"repro {package_version()}"
+        assert package_version()  # non-empty whichever source it came from
+
+    def test_module_and_script_share_main(self):
+        from repro import cli
+        from repro import __main__ as module_entry
+
+        assert module_entry.main is cli.main
+
+    def test_every_subcommand_takes_log_level(self, capsys):
+        assert main([
+            "floorplan", "--scale", "tiny", "--log-level", "debug",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "table", "1", "--scale", "tiny", "--log-level", "error",
+        ]) == 0
+        capsys.readouterr()
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["floorplan", "--log-level", "loud"])
+
+    def test_flow_log_level_emits_run_id_lines(self, tmp_path, capsys):
+        import io
+        import re
+
+        from repro.obs import setup_logging
+
+        stream = io.StringIO()
+        setup_logging("info", stream=stream)  # redirect the shared handler
+        assert main([
+            "flow", "--scale", "tiny", "--max-patterns", "8",
+            "--log-level", "info",
+            "--trace", str(tmp_path / "t.jsonl"),  # enables real telemetry
+        ]) == 0
+        logged = stream.getvalue()
+        assert "flow start" in logged and "flow completed" in logged
+        # with telemetry enabled the lines carry the run's id, not "-"
+        assert re.search(r"run=[0-9a-f]+-\d+ flow start", logged)
+
+
+class TestObsCli:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        """One telemetry-instrumented flow run shared by every test."""
+        tmp = tmp_path_factory.mktemp("obs_cli")
+        paths = {
+            "trace": str(tmp / "trace.jsonl"),
+            "chrome": str(tmp / "trace.chrome.json"),
+            "metrics": str(tmp / "metrics.prom"),
+            "metrics_json": str(tmp / "metrics.json"),
+            "report": str(tmp / "report.json"),
+            "tmp": tmp,
+        }
+        code = main([
+            "flow", "--scale", "tiny", "--max-patterns", "10",
+            "--trace", paths["trace"],
+            "--chrome", paths["chrome"],
+            "--metrics", paths["metrics"],
+            "--metrics-json", paths["metrics_json"],
+            "--report", paths["report"],
+            "--profile",
+        ])
+        assert code == 0
+        return paths
+
+    def test_flow_writes_all_artifacts(self, artifacts, capsys):
+        import os
+
+        for key in ("trace", "chrome", "metrics", "metrics_json", "report"):
+            assert os.path.exists(artifacts[key]), key
+
+    def test_trace_is_well_nested_jsonl(self, artifacts):
+        from repro.obs import load_trace_jsonl, nesting_errors
+
+        events = load_trace_jsonl(artifacts["trace"])
+        assert events
+        assert {"flow.run", "atpg.stage"} <= {e["name"] for e in events}
+        assert not nesting_errors(events)
+
+    def test_prometheus_exposition_format(self, artifacts):
+        text = open(artifacts["metrics"]).read()
+        assert "# TYPE repro_atpg_patterns_generated_total counter" in text
+        metrics = json.loads(open(artifacts["metrics_json"]).read())
+        assert "atpg.patterns_generated" in metrics
+
+    def test_report_embeds_telemetry_digest(self, artifacts):
+        data = json.loads(open(artifacts["report"]).read())
+        assert data["telemetry"]["metrics"]
+        assert data["telemetry"]["hotspots"]  # --profile was on
+
+    def test_flow_report_prints_stage_wall_times(self, artifacts, capsys):
+        assert main(["flow", "--scale", "tiny", "--max-patterns", "10",
+                     "--report", str(artifacts["tmp"] / "r2.json")]) == 0
+        out = capsys.readouterr().out
+        assert "stage wall times:" in out
+        assert "elapsed_s" in out
+
+    def test_obs_summary(self, artifacts, capsys):
+        assert main(["obs", "summary", artifacts["trace"]]) == 0
+        out = capsys.readouterr().out
+        assert "flow.run" in out and "count" in out
+
+    def test_obs_check_clean(self, artifacts, capsys):
+        assert main(["obs", "check", artifacts["trace"]]) == 0
+        assert "well-nested" in capsys.readouterr().out
+
+    def test_obs_check_flags_orphans(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(json.dumps({
+            "name": "x", "span_id": "s1", "parent_id": "gone",
+            "ts_s": 1.0, "dur_s": 0.5, "pid": 1, "attrs": {},
+        }) + "\n")
+        assert main(["obs", "check", str(bad)]) == 2
+        assert "missing parent" in capsys.readouterr().err
+
+    def test_obs_chrome_conversion(self, artifacts, capsys):
+        out_path = str(artifacts["tmp"] / "converted.chrome.json")
+        assert main([
+            "obs", "chrome", artifacts["trace"], "-o", out_path,
+        ]) == 0
+        doc = json.loads(open(out_path).read())
+        assert doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_obs_report_digest(self, artifacts, capsys):
+        assert main(["obs", "report", artifacts["report"]]) == 0
+        out = capsys.readouterr().out
+        assert "run id:" in out
+        assert "atpg.patterns_generated" in out

@@ -47,3 +47,59 @@ class TestSeriesCsv:
         assert csv.splitlines() == [
             "pattern,coverage", "0,0.5", "3,0.75",
         ]
+
+
+class TestRunReportRoundTrip:
+    def _build(self):
+        from repro.reporting import RunReport
+
+        report = RunReport(flow="noise_aware_staged", status="completed")
+        report.record_stage(
+            "stage0", "completed",
+            detail={"patterns": 12, "elapsed_s": 1.25},
+        )
+        report.record_stage(
+            "stage1", "completed", from_checkpoint=True,
+            detail={"patterns": 7},
+        )
+        report.retries = {"stage0": 2}
+        report.failures = [{"stage": "stage0", "kind": "crash", "chunk": 3}]
+        report.drc = {"status": "clean", "violations": 0}
+        report.telemetry = {
+            "run_id": "rt1",
+            "metrics": {"atpg.patterns_generated": {
+                "kind": "counter", "series": {"": 19.0}}},
+        }
+        return report
+
+    def test_save_load_round_trip(self, tmp_path):
+        from repro.reporting import RunReport
+
+        report = self._build()
+        path = str(tmp_path / "run_report.json")
+        report.save(path)
+        loaded = RunReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+        assert loaded.completed_stages() == ["stage0", "stage1"]
+        assert loaded.resumed_stages() == ["stage1"]
+        assert loaded.total_retries == 2
+        assert loaded.telemetry["run_id"] == "rt1"
+
+    def test_from_dict_recomputes_derived_and_skips_unknown(self):
+        from repro.reporting import RunReport
+
+        data = self._build().to_dict()
+        data["completed_stages"] = ["lies"]  # derived: must be recomputed
+        data["future_key"] = {"ignored": True}
+        loaded = RunReport.from_dict(data)
+        assert loaded.completed_stages() == ["stage0", "stage1"]
+        assert not hasattr(loaded, "future_key")
+
+    def test_stage_times_rows(self):
+        rows = self._build().stage_times()
+        assert rows[0] == {
+            "stage": "stage0", "status": "completed",
+            "elapsed_s": 1.25, "patterns": 12,
+        }
+        assert rows[1]["status"] == "completed (checkpoint)"
+        assert rows[1]["elapsed_s"] == 0.0
