@@ -7,6 +7,12 @@ so the reported speedups are against the pre-optimisation code path,
 not a moving target.  Every optimised result is asserted bit-identical
 to its reference before a number is written.
 
+Host reporting is honest: ``host_cpus`` is the *usable* core count
+(affinity/cgroup aware, not ``os.cpu_count()``), and when it is below
+the requested worker count the parallel numbers are flagged
+``parallel_comparable: false`` instead of being read as regressions.
+The parallel-beats-seed gate is asserted only on comparable hosts.
+
 Emits machine-readable ``BENCH_perf.json`` at the repo root.
 """
 
@@ -15,6 +21,8 @@ from __future__ import annotations
 import heapq
 import json
 import os
+import shutil
+import tempfile
 import time
 from pathlib import Path
 
@@ -25,7 +33,10 @@ from repro.atpg.faults import build_fault_universe, collapse_faults
 from repro.atpg.fsim import FaultSimulator
 from repro.netlist.cells import CELL_FUNCTIONS
 from repro.perf.cache import PatternProfileCache
+from repro.perf.dispatch import usable_cpus
+from repro.perf.kernel_cache import KernelCache, use_kernel_cache
 from repro.perf.pool import resolve_workers
+from repro.perf.shm import active_segments
 from repro.power.calculator import ScapCalculator
 from repro.power.scap import PatternPowerProfile
 from repro.sim.event import TimingResult, build_launch_events
@@ -195,6 +206,8 @@ def seed_profile_patterns(calc, matrix):
 def test_perf_pipeline(benchmark, rig):
     scale, design, domain, faults, matrix = rig
     nl = design.netlist
+    host_cpus = usable_cpus()
+    parallel_comparable = host_cpus >= REQUESTED_WORKERS
     report = {
         "scale": scale,
         "design": {
@@ -203,9 +216,16 @@ def test_perf_pipeline(benchmark, rig):
             "flops": nl.n_flops,
             "collapsed_faults": len(faults),
         },
-        "host_cpus": os.cpu_count(),
+        # Usable cores (affinity/cgroup aware), not the machine total:
+        # grading pools can only ever run on these.
+        "host_cpus": host_cpus,
+        "host_cpus_total": os.cpu_count(),
         "requested_workers": REQUESTED_WORKERS,
         "effective_workers": resolve_workers(REQUESTED_WORKERS, len(faults)),
+        # With fewer usable cores than workers, pool numbers measure
+        # oversubscription, not parallelism — flag them, don't read
+        # them as regressions.
+        "parallel_comparable": parallel_comparable,
     }
 
     # -- pack ----------------------------------------------------------
@@ -223,29 +243,71 @@ def test_perf_pipeline(benchmark, rig):
     }
 
     # -- bit-parallel logic sim ----------------------------------------
-    sim_warm = loc_launch_capture(
-        FaultSimulator(nl, domain).sim, packed_vec, domain, mask=mask_vec
-    )
-    assert sim_warm is not None
-    fsim = FaultSimulator(nl, domain)
+    lsim = FaultSimulator(nl, domain, kernel_cache=None).sim
+    loc_launch_capture(lsim, packed_vec, domain, mask=mask_vec)  # warm
     t0 = time.perf_counter()
     for _ in range(3):
-        loc_launch_capture(fsim.sim, packed_vec, domain, mask=mask_vec)
+        loc_launch_capture(lsim, packed_vec, domain, mask=mask_vec)
     logic_s = (time.perf_counter() - t0) / 3
+
+    big = lsim.run(packed_vec, mask=mask_vec, engine="bigint")
+    vec = lsim.run(packed_vec, mask=mask_vec, engine="vector")
+    assert vec == big, "vector logic engine is not bit-identical"
+    t0 = time.perf_counter()
+    for _ in range(3):
+        lsim.run(packed_vec, mask=mask_vec, engine="bigint")
+    bigint_s = (time.perf_counter() - t0) / 3
+    t0 = time.perf_counter()
+    for _ in range(3):
+        lsim.run(packed_vec, mask=mask_vec, engine="vector")
+    vector_s = (time.perf_counter() - t0) / 3
     report["logic_sim"] = {
         "n_patterns": int(matrix.shape[0]),
         "patterns_per_s": matrix.shape[0] / logic_s,
+        "bigint_propagate_s": bigint_s,
+        "vector_propagate_s": vector_s,
+        "speedup_vector_vs_bigint": bigint_s / max(1e-9, vector_s),
+        "bit_identical": True,
+    }
+
+    # -- persistent kernel cache ---------------------------------------
+    # Cold: codegen + compile() every cone, persist to disk.  Warm: a
+    # fresh simulator marshal-loads the same kernels — this is what
+    # every pool worker (and every later run) pays instead of the
+    # compile tax.
+    cache_dir = tempfile.mkdtemp(prefix="repro-kcache-bench-")
+    kcache = KernelCache(cache_dir)
+    with use_kernel_cache(kcache):
+        t0 = time.perf_counter()
+        FaultSimulator(nl, domain).warm_kernels(faults)
+        cold_compile_s = time.perf_counter() - t0
+    # Warm from *disk* through a fresh cache instance — what a pool
+    # worker (fresh process) pays.  The original instance has the table
+    # memoized in memory, which is the cheaper same-process path.
+    with use_kernel_cache(KernelCache(cache_dir)):
+        t0 = time.perf_counter()
+        fsim = FaultSimulator(nl, domain)
+        residual = fsim.warm_kernels(faults)
+        warm_load_s = time.perf_counter() - t0
+    assert residual == 0, "warm cache still compiled kernels"
+    with use_kernel_cache(kcache):
+        t0 = time.perf_counter()
+        assert FaultSimulator(nl, domain).warm_kernels(faults) == 0
+        warm_memo_s = time.perf_counter() - t0
+    report["kernel_cache"] = {
+        "cold_compile_s": cold_compile_s,
+        "warm_load_s": warm_load_s,
+        "warm_memo_s": warm_memo_s,
+        "speedup_warm_vs_cold": cold_compile_s / max(1e-9, warm_load_s),
+        "entries": len(kcache.entries()),
+        "hits": kcache.hits,
+        "stores": kcache.stores,
     }
 
     # -- fault simulation ----------------------------------------------
-    # Warm the structural-cone and compiled-kernel caches once so both
-    # contenders run steady-state (compilation is a one-time cost per
-    # simulator; it is reported, not hidden).
-    t0 = time.perf_counter()
-    det_batch = fsim.run_batch(matrix, faults, lane_width=matrix.shape[0])
-    compile_s = time.perf_counter() - t0
+    # All contenders run steady-state on the warm cache; the one-time
+    # per-netlist cost is what the kernel_cache section reports.
     det_seed = seed_fault_sim(fsim, domain, matrix, faults)  # warm cones
-
     t0 = time.perf_counter()
     det_seed = seed_fault_sim(fsim, domain, matrix, faults)
     seed_s = time.perf_counter() - t0
@@ -259,11 +321,21 @@ def test_perf_pipeline(benchmark, rig):
     fsim.run_batch(matrix, faults, lane_width=matrix.shape[0])
     batch_s = time.perf_counter() - t0
 
-    t0 = time.perf_counter()
-    det_par = fsim.run_batch(
-        matrix, faults, lane_width=64, n_workers=REQUESTED_WORKERS
-    )
-    par_s = time.perf_counter() - t0
+    with use_kernel_cache(kcache):
+        t0 = time.perf_counter()
+        det_par = fsim.run_batch(
+            matrix, faults, lane_width=matrix.shape[0],
+            n_workers=REQUESTED_WORKERS, transport="inherit",
+        )
+        par_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        det_shm = fsim.run_batch(
+            matrix, faults, lane_width=matrix.shape[0],
+            n_workers=REQUESTED_WORKERS, transport="shm",
+        )
+        shm_s = time.perf_counter() - t0
+    assert active_segments() == [], "leaked shared-memory segments"
 
     t0 = time.perf_counter()
     det_drop = fsim.run_batch(matrix, faults, lane_width=64, drop=True)
@@ -271,28 +343,36 @@ def test_perf_pipeline(benchmark, rig):
 
     assert det_batch == det_seed, "batched fault sim is not bit-identical"
     assert det_par == det_seed, "parallel fault sim is not bit-identical"
+    assert det_shm == det_seed, "shm-pool fault sim is not bit-identical"
     assert set(det_drop) == set(det_seed)
 
     fp = len(faults) * matrix.shape[0]
-    modes = {"batch": seed_s / batch_s, "parallel": seed_s / par_s}
+    modes = {
+        "batch": seed_s / batch_s,
+        "parallel": seed_s / par_s,
+        "parallel_shm": seed_s / shm_s,
+    }
     best_mode = max(modes, key=modes.get)
     report["fault_sim"] = {
         "n_patterns": int(matrix.shape[0]),
         "n_faults": len(faults),
         "detected": len(det_seed),
-        "kernel_compile_s": compile_s,
+        "kernel_compile_s": warm_load_s,
         "seed_s": seed_s,
         "batch_s": batch_s,
         "parallel_s": par_s,
+        "parallel_shm_s": shm_s,
         "drop_grading_s": drop_s,
         "seed_fault_patterns_per_s": fp / seed_s,
         "batch_fault_patterns_per_s": fp / batch_s,
         "speedup_batch_vs_seed": modes["batch"],
         "speedup_parallel_vs_seed": modes["parallel"],
+        "speedup_parallel_shm_vs_seed": modes["parallel_shm"],
         "best_mode": best_mode,
         "speedup_vs_seed": modes[best_mode],
         "bit_identical": True,
     }
+    shutil.rmtree(cache_dir, ignore_errors=True)
 
     # -- SCAP grading --------------------------------------------------
     scap_matrix = matrix[:N_SCAP_PATTERNS]
@@ -309,12 +389,20 @@ def test_perf_pipeline(benchmark, rig):
 
     t0 = time.perf_counter()
     prof_par = calc.profile_patterns(
-        scap_matrix, n_workers=REQUESTED_WORKERS
+        scap_matrix, n_workers=REQUESTED_WORKERS, transport="inherit"
     )
     par_scap_s = time.perf_counter() - t0
 
+    t0 = time.perf_counter()
+    prof_shm = calc.profile_patterns(
+        scap_matrix, n_workers=REQUESTED_WORKERS, transport="shm"
+    )
+    shm_scap_s = time.perf_counter() - t0
+    assert active_segments() == [], "leaked shared-memory segments"
+
     assert prof_batch == prof_seed, "batched SCAP profiles differ from seed"
     assert prof_par == prof_seed, "parallel SCAP profiles differ from seed"
+    assert prof_shm == prof_seed, "shm-pool SCAP profiles differ from seed"
 
     cache = PatternProfileCache()
     calc_cached = ScapCalculator(design, domain, cache=cache)
@@ -328,6 +416,7 @@ def test_perf_pipeline(benchmark, rig):
     modes = {
         "batch": seed_scap_s / batch_scap_s,
         "parallel": seed_scap_s / par_scap_s,
+        "parallel_shm": seed_scap_s / shm_scap_s,
     }
     best_mode = max(modes, key=modes.get)
     report["scap"] = {
@@ -336,8 +425,10 @@ def test_perf_pipeline(benchmark, rig):
         "seed_ms_per_pattern": 1000 * seed_scap_s / n,
         "batch_ms_per_pattern": 1000 * batch_scap_s / n,
         "parallel_ms_per_pattern": 1000 * par_scap_s / n,
+        "parallel_shm_ms_per_pattern": 1000 * shm_scap_s / n,
         "speedup_batch_vs_seed": modes["batch"],
         "speedup_parallel_vs_seed": modes["parallel"],
+        "speedup_parallel_shm_vs_seed": modes["parallel_shm"],
         "best_mode": best_mode,
         "speedup_vs_seed": modes[best_mode],
         "profiles_identical": True,
@@ -357,3 +448,21 @@ def test_perf_pipeline(benchmark, rig):
     assert report["pack"]["speedup_vs_seed"] > 1.0
     assert report["fault_sim"]["speedup_vs_seed"] > 1.0
     assert report["scap"]["speedup_vs_seed"] > 1.0
+    # A warm kernel cache must make a fresh simulator grading-ready in
+    # well under the compile tax it replaces, on any hardware.
+    assert (
+        report["kernel_cache"]["warm_load_s"]
+        < report["kernel_cache"]["cold_compile_s"] / 5
+    )
+    # The point of this PR: on a host with enough usable cores the pool
+    # must *win* and the warm load must be negligible in absolute terms
+    # — enforced, not hoped for.  Oversubscribed hosts (host_cpus <
+    # workers) are flagged non-comparable instead; their numbers are
+    # still reported above.
+    if parallel_comparable:
+        assert report["kernel_cache"]["warm_load_s"] < 0.1
+        fault_par = max(
+            report["fault_sim"]["speedup_parallel_vs_seed"],
+            report["fault_sim"]["speedup_parallel_shm_vs_seed"],
+        )
+        assert fault_par > 1.0, "parallel fault sim lost to the seed"

@@ -21,7 +21,7 @@ This reproduces the industrial behaviours the paper leans on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -100,7 +100,7 @@ class AtpgEngine:
         seed: int = 1,
         timing_aware: bool = False,
         delays=None,
-        n_workers: int = 1,
+        n_workers: Union[int, str, None] = 1,
     ):
         """``max_targets_per_block`` is the option the paper wished its
         ATPG had ("to limit the maximum number of faults targeted by a
@@ -118,7 +118,8 @@ class AtpgEngine:
 
         ``n_workers`` fans the per-batch fault simulation out across a
         process pool (chunked fault partitions; results bit-identical
-        to serial)."""
+        to serial); ``"auto"`` lets :mod:`repro.perf.dispatch` pick
+        batch or pool from the work size and usable cores."""
         if protocol == "los" and scan is None:
             raise AtpgError("LOS ATPG needs the scan configuration")
         self.netlist = netlist

@@ -21,12 +21,18 @@ Three throughput layers sit on top of the plain cone walk:
   *lanes* (cheap machine-word bigint ops instead of one enormous word),
   optional fault dropping between lanes, and optional fault-partitioned
   fan-out across a process pool (each worker rebuilds the simulator
-  once, then grades its fault chunk against every lane).
+  once — warm-loading compiled kernels from the persistent
+  :mod:`repro.perf.kernel_cache` the parent populated — good-simulates
+  every lane once, then grades its fault chunks against the memoized
+  frames; matrices ride a zero-copy :mod:`repro.perf.shm` segment when
+  big enough, and ``n_workers="auto"`` defers the batch/pool call to
+  :mod:`repro.perf.dispatch`).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import types
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -34,7 +40,14 @@ from ..errors import AtpgError
 from ..netlist.levelize import levelize
 from ..netlist.netlist import Netlist
 from ..obs import current_telemetry
+from ..perf.dispatch import current_dispatch, decide_fsim, wants_auto
+from ..perf.kernel_cache import (
+    KernelCache,
+    current_kernel_cache,
+    netlist_fingerprint,
+)
 from ..perf.pool import chunked, pool_map, resolve_workers
+from ..perf.shm import shared_matrix, shm_available, resolve_matrix
 from ..sim.logic import (
     LogicSim,
     launch_capture_with_state,
@@ -91,10 +104,26 @@ def _kind_expr(kind: str, args: List[str]) -> str:
     raise AtpgError(f"no kernel expression for cell kind {kind!r}")
 
 
-class FaultSimulator:
-    """Reusable LOC transition-fault simulator for one clock domain."""
+#: Sentinel: pick up the ambient :func:`current_kernel_cache`.
+_AMBIENT_CACHE = object()
 
-    def __init__(self, netlist: Netlist, domain: str):
+
+class FaultSimulator:
+    """Reusable LOC transition-fault simulator for one clock domain.
+
+    ``kernel_cache`` controls the persistent compiled-kernel cache
+    (:mod:`repro.perf.kernel_cache`): by default the ambient cache is
+    used, so cone kernels compiled once for a netlist are warm-loaded
+    from disk by every later simulator — including pool workers — for
+    that netlist.  Pass ``None`` to disable caching for this instance.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        domain: str,
+        kernel_cache: Union[object, KernelCache, None] = _AMBIENT_CACHE,
+    ):
         self.netlist = netlist
         self.domain = domain
         self.sim = LogicSim(netlist)
@@ -112,6 +141,82 @@ class FaultSimulator:
         self._cone_gates_cache: Dict[
             int, Tuple[Tuple[int, ...], Tuple[int, ...]]
         ] = {}
+        self._kcache: Optional[KernelCache] = (
+            current_kernel_cache()
+            if kernel_cache is _AMBIENT_CACHE
+            else kernel_cache  # type: ignore[assignment]
+        )
+        self._kcache_key: Optional[str] = None
+        self._ktable: Optional[Dict] = None  # loaded disk entry
+        self._dirty_sites: set = set()  # compiled since last store
+
+    # ------------------------------------------------------------------
+    # persistent kernel cache plumbing
+    # ------------------------------------------------------------------
+    def _kernel_key(self) -> str:
+        if self._kcache_key is None:
+            self._kcache_key = self._kcache.entry_key(
+                netlist_fingerprint(self.netlist), self.domain
+            )
+        return self._kcache_key
+
+    def _kernel_table(self) -> Dict:
+        """The on-disk kernel table for this netlist (loaded once)."""
+        if self._ktable is None:
+            self._ktable = (
+                (self._kcache.load(self._kernel_key()) or {})
+                if self._kcache is not None
+                else {}
+            )
+        return self._ktable
+
+    def _adopt_cached(self, site: int) -> bool:
+        """Install *site*'s kernel from the disk table, if present."""
+        entry = self._kernel_table().get(site)
+        if entry is None:
+            return False
+        try:
+            captures, gates, code = entry
+            self._cone_gates_cache[site] = (tuple(gates), tuple(captures))
+            self._cone_cache[site] = (
+                types.FunctionType(code, {}) if code is not None else None
+            )
+        except (TypeError, ValueError):  # malformed entry -> recompile
+            self._kernel_table().pop(site, None)
+            return False
+        return True
+
+    def save_kernels(self) -> None:
+        """Persist kernels compiled since the last store (no-op when
+        clean or uncached)."""
+        if not self._dirty_sites or self._kcache is None:
+            return
+        table = dict(self._kernel_table())
+        for site in self._dirty_sites:
+            gates, captures = self._cone_gates_cache[site]
+            kernel = self._cone_cache.get(site)
+            table[site] = (
+                captures,
+                gates,
+                kernel.__code__ if kernel is not None else None,
+            )
+        self._kcache.store(self._kernel_key(), table)
+        self._ktable = table
+        self._dirty_sites.clear()
+
+    def warm_kernels(self, faults: Sequence[TransitionFault]) -> int:
+        """Ensure every fault site's kernel is compiled, then persist.
+
+        Returns the number of sites compiled fresh (0 = fully warm).
+        Called before fanning out to a pool so workers always find a
+        warm disk cache instead of each paying the compile tax.
+        """
+        before = len(self._dirty_sites)
+        for fault in faults:
+            self._cone(fault.net)
+        compiled = len(self._dirty_sites) - before
+        self.save_kernels()
+        return compiled
 
     def cone_of(self, site: int) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
         """Structural fanout cone of a fault site.
@@ -124,6 +229,11 @@ class FaultSimulator:
         cached = self._cone_gates_cache.get(site)
         if cached is not None:
             return cached
+        if (
+            self._kcache is not None
+            and self._adopt_cached(site)
+        ):
+            return self._cone_gates_cache[site]
         netlist = self.netlist
         gates = netlist.transitive_fanout_gates(site)
         gates.sort(key=self._level_of_gate.__getitem__)
@@ -143,14 +253,20 @@ class FaultSimulator:
         cone is generated once into straight-line bigint code — every
         gate is one expression over local variables (cone nets) and
         ``g2[...]`` lookups (side inputs), with no per-gate dispatch.
+        Compiled code objects round-trip through the persistent
+        :class:`~repro.perf.kernel_cache.KernelCache`, so a warm
+        netlist skips codegen and ``compile()`` entirely.
         """
         kernel = self._cone_cache.get(site, _UNCOMPILED)
         if kernel is not _UNCOMPILED:
             return kernel
+        if self._kcache is not None and self._adopt_cached(site):
+            return self._cone_cache[site]
         netlist = self.netlist
         gates, captures = self.cone_of(site)
         if not captures:
             self._cone_cache[site] = None
+            self._dirty_sites.add(site)
             return None
         lines = [
             "def _kernel(sdiv, g2, mask):",
@@ -173,6 +289,7 @@ class FaultSimulator:
         )
         kernel = namespace["_kernel"]
         self._cone_cache[site] = kernel
+        self._dirty_sites.add(site)
         return kernel
 
     @staticmethod
@@ -180,36 +297,15 @@ class FaultSimulator:
         """Pack an ``(n_patterns, n_flops)`` bit matrix into words."""
         return pack_matrix(v1_matrix)
 
-    def run(
+    def _lane_frames(
         self,
-        v1_matrix: np.ndarray,
-        faults: Sequence[TransitionFault],
-        protocol: str = "loc",
-        scan=None,
-        v2_matrix: Optional[np.ndarray] = None,
-    ) -> Dict[TransitionFault, int]:
-        """Simulate a single-lane pattern batch; return detection words.
-
-        Bit *p* of the returned word is set when pattern *p* (row *p* of
-        *v1_matrix*) detects the fault.  Undetected faults are omitted.
-        For large batches prefer :meth:`run_batch`, which splits the
-        patterns into machine-word lanes.
-
-        Parameters
-        ----------
-        protocol:
-            Launch mechanism: ``"loc"`` (default, V2 = functional
-            response), ``"los"`` (V2 = V1 shifted one chain position;
-            pass *scan*), or ``"es"`` (V2 explicit; pass *v2_matrix*).
-        """
-        if v1_matrix.ndim != 2:
-            raise AtpgError("v1_matrix must be (n_patterns, n_flops)")
-        if v1_matrix.shape[1] != self.netlist.n_flops:
-            raise AtpgError(
-                f"v1_matrix covers {v1_matrix.shape[1]} flops, design has "
-                f"{self.netlist.n_flops}"
-            )
-        packed, mask = self.pack(v1_matrix)
+        lane_matrix: np.ndarray,
+        protocol: str,
+        scan,
+        v2_lane: Optional[np.ndarray],
+    ) -> Tuple[List[int], List[int], int]:
+        """Good-machine ``(frame1, frame2, mask)`` for one pattern lane."""
+        packed, mask = self.pack(lane_matrix)
         if protocol == "loc":
             cyc = loc_launch_capture(self.sim, packed, self.domain, mask=mask)
         elif protocol == "los":
@@ -220,20 +316,27 @@ class FaultSimulator:
                 self.sim, packed, v2, self.domain, mask=mask
             )
         elif protocol == "es":
-            if v2_matrix is None or v2_matrix.shape != v1_matrix.shape:
+            if v2_lane is None or v2_lane.shape != lane_matrix.shape:
                 raise AtpgError(
                     "enhanced-scan fault simulation needs a v2_matrix "
                     "matching v1_matrix"
                 )
-            v2, _ = self.pack(v2_matrix)
+            v2, _ = self.pack(v2_lane)
             cyc = launch_capture_with_state(
                 self.sim, packed, v2, self.domain, mask=mask
             )
         else:
             raise AtpgError(f"unknown protocol {protocol!r}")
-        f1 = cyc.frame1
-        g2 = cyc.frame2
+        return cyc.frame1, cyc.frame2, mask
 
+    def _grade_lane(
+        self,
+        f1: List[int],
+        g2: List[int],
+        mask: int,
+        faults: Sequence[TransitionFault],
+    ) -> Dict[TransitionFault, int]:
+        """Kernel loop: detection words for *faults* on settled frames."""
         cone = self._cone
         detections: Dict[TransitionFault, int] = {}
         for fault in faults:
@@ -264,6 +367,38 @@ class FaultSimulator:
                 detections[fault] = det
         return detections
 
+    def run(
+        self,
+        v1_matrix: np.ndarray,
+        faults: Sequence[TransitionFault],
+        protocol: str = "loc",
+        scan=None,
+        v2_matrix: Optional[np.ndarray] = None,
+    ) -> Dict[TransitionFault, int]:
+        """Simulate a single-lane pattern batch; return detection words.
+
+        Bit *p* of the returned word is set when pattern *p* (row *p* of
+        *v1_matrix*) detects the fault.  Undetected faults are omitted.
+        For large batches prefer :meth:`run_batch`, which splits the
+        patterns into machine-word lanes.
+
+        Parameters
+        ----------
+        protocol:
+            Launch mechanism: ``"loc"`` (default, V2 = functional
+            response), ``"los"`` (V2 = V1 shifted one chain position;
+            pass *scan*), or ``"es"`` (V2 explicit; pass *v2_matrix*).
+        """
+        if v1_matrix.ndim != 2:
+            raise AtpgError("v1_matrix must be (n_patterns, n_flops)")
+        if v1_matrix.shape[1] != self.netlist.n_flops:
+            raise AtpgError(
+                f"v1_matrix covers {v1_matrix.shape[1]} flops, design has "
+                f"{self.netlist.n_flops}"
+            )
+        f1, g2, mask = self._lane_frames(v1_matrix, protocol, scan, v2_matrix)
+        return self._grade_lane(f1, g2, mask, faults)
+
     def run_batch(
         self,
         v1_matrix: np.ndarray,
@@ -273,7 +408,8 @@ class FaultSimulator:
         v2_matrix: Optional[np.ndarray] = None,
         lane_width: int = DEFAULT_LANE_WIDTH,
         drop: bool = False,
-        n_workers: int = 1,
+        n_workers: Union[int, str, None] = 1,
+        transport: Optional[str] = None,
         exec_policy=None,
     ) -> Dict[TransitionFault, int]:
         """Fault-simulate an arbitrarily large batch in fixed-width lanes.
@@ -298,9 +434,18 @@ class FaultSimulator:
             (coverage grading), not when counting detections per fault.
         n_workers:
             Fan the fault list out across a process pool in chunked
-            partitions (each worker rebuilds the simulator once, then
-            grades its chunk against every lane).  ``<= 1`` stays
-            serial in-process.
+            partitions (each worker rebuilds the simulator once from
+            the warm kernel cache, good-simulates every lane once, then
+            grades its fault chunks against the settled frames).
+            ``<= 1`` stays serial in-process; ``"auto"`` lets
+            :func:`repro.perf.dispatch.decide_fsim` pick batch or pool
+            from the work size and usable cores.
+        transport:
+            How pool workers receive the pattern matrices: ``"inherit"``
+            ships them through pickled initargs, ``"shm"`` through one
+            packed :mod:`repro.perf.shm` segment per matrix (zero-copy).
+            ``None`` (default) decides from matrix size via the ambient
+            :class:`~repro.perf.dispatch.DispatchPolicy`.
         exec_policy:
             Optional :class:`~repro.perf.resilient.RetryPolicy` for
             the pooled path (per-chunk timeouts, retries, crash
@@ -312,13 +457,32 @@ class FaultSimulator:
             raise AtpgError("v1_matrix must be (n_patterns, n_flops)")
         if lane_width <= 0:
             raise AtpgError("lane_width must be positive")
+        if transport not in (None, "inherit", "shm"):
+            raise AtpgError("transport must be None, 'inherit' or 'shm'")
         n_pat = v1_matrix.shape[0]
         faults = list(faults)
         if n_pat == 0 or not faults:
             return {}
 
         tel = current_telemetry()
-        eff = resolve_workers(n_workers, len(faults))
+        if wants_auto(n_workers):
+            decision = decide_fsim(
+                n_pat, len(faults), matrix_bytes=int(v1_matrix.nbytes)
+            )
+            eff = decision.n_workers if decision.mode == "pool" else 1
+            use_shm = (
+                decision.use_shm if transport is None else transport == "shm"
+            )
+        else:
+            eff = resolve_workers(n_workers, len(faults))
+            if transport is None:
+                use_shm = (
+                    int(v1_matrix.nbytes) // 8
+                    >= current_dispatch().shm_min_bytes
+                )
+            else:
+                use_shm = transport == "shm"
+        use_shm = use_shm and eff > 1 and shm_available()
         with tel.span(
             "fsim.run_batch",
             domain=self.domain,
@@ -326,29 +490,40 @@ class FaultSimulator:
             n_faults=len(faults),
             workers=eff,
             drop=drop,
+            shm=use_shm,
         ):
             tel.count("fsim.faults_graded", len(faults))
             if eff > 1:
+                # Pay the compile tax once, here, and persist: workers
+                # warm-load marshalled kernels from disk instead of each
+                # re-running codegen + compile() over the whole design.
+                if self._kcache is not None:
+                    self.warm_kernels(faults)
                 # Chunked fault partitions; a few chunks per worker
                 # keeps the load balanced when cone sizes are skewed.
                 chunks = chunked(faults, eff * 4)
-                results = pool_map(
-                    _fsim_worker_task,
-                    chunks,
-                    n_workers=eff,
-                    policy=exec_policy,
-                    initializer=_fsim_worker_init,
-                    initargs=(
-                        self.netlist,
-                        self.domain,
-                        v1_matrix,
-                        protocol,
-                        scan,
-                        v2_matrix,
-                        lane_width,
-                        drop,
-                    ),
-                )
+                with shared_matrix(
+                    v1_matrix if use_shm else None
+                ) as h1, shared_matrix(
+                    v2_matrix if use_shm else None
+                ) as h2:
+                    results = pool_map(
+                        _fsim_worker_task,
+                        chunks,
+                        n_workers=eff,
+                        policy=exec_policy,
+                        initializer=_fsim_worker_init,
+                        initargs=(
+                            self.netlist,
+                            self.domain,
+                            h1 if h1 is not None else v1_matrix,
+                            protocol,
+                            scan,
+                            h2 if h2 is not None else v2_matrix,
+                            lane_width,
+                            drop,
+                        ),
+                    )
                 merged: Dict[TransitionFault, int] = {}
                 for part in results:
                     merged.update(part)
@@ -383,6 +558,7 @@ class FaultSimulator:
             tel.count("fsim.faults_detected", len(detections))
             if drop:
                 tel.count("fsim.faults_dropped", len(faults) - len(live))
+            self.save_kernels()
             return detections
 
 
@@ -393,41 +569,54 @@ _FSIM_WORKER_STATE: Optional[Tuple] = None
 def _fsim_worker_init(
     netlist: Netlist,
     domain: str,
-    v1_matrix: np.ndarray,
+    v1_source,
     protocol: str,
     scan,
-    v2_matrix: Optional[np.ndarray],
+    v2_source,
     lane_width: int,
     drop: bool,
 ) -> None:
-    """Rebuild the fault simulator once per worker process."""
+    """Build the per-worker grading context, once per worker process.
+
+    The matrices arrive either inline or as :mod:`repro.perf.shm`
+    handles (resolved here); the simulator warm-loads its kernels from
+    the persistent cache the parent just populated; and the good
+    machine is simulated over every lane *once* — fault chunks then
+    grade against the memoized settled frames instead of re-running the
+    good machine per chunk.
+    """
     global _FSIM_WORKER_STATE
-    _FSIM_WORKER_STATE = (
-        FaultSimulator(netlist, domain),
-        v1_matrix,
-        protocol,
-        scan,
-        v2_matrix,
-        lane_width,
-        drop,
-    )
+    v1 = resolve_matrix(v1_source)
+    v2 = resolve_matrix(v2_source)
+    sim = FaultSimulator(netlist, domain)
+    frames: List[Tuple[int, List[int], List[int], int]] = []
+    for start in range(0, v1.shape[0], lane_width):
+        lane = v1[start:start + lane_width]
+        v2_lane = v2[start:start + lane_width] if v2 is not None else None
+        f1, g2, mask = sim._lane_frames(lane, protocol, scan, v2_lane)
+        frames.append((start, f1, g2, mask))
+    _FSIM_WORKER_STATE = (sim, frames, drop)
 
 
 def _fsim_worker_task(
     fault_chunk: Sequence[TransitionFault],
 ) -> Dict[TransitionFault, int]:
     """Grade one fault partition against every lane (runs in a worker)."""
-    sim, v1, protocol, scan, v2, lane_width, drop = _FSIM_WORKER_STATE
-    return sim.run_batch(
-        v1,
-        fault_chunk,
-        protocol=protocol,
-        scan=scan,
-        v2_matrix=v2,
-        lane_width=lane_width,
-        drop=drop,
-        n_workers=1,
-    )
+    sim, frames, drop = _FSIM_WORKER_STATE
+    detections: Dict[TransitionFault, int] = {}
+    live = list(fault_chunk)
+    for start, f1, g2, mask in frames:
+        if not live:
+            break
+        words = sim._grade_lane(f1, g2, mask, live)
+        for fault, word in words.items():
+            prev = detections.get(fault)
+            detections[fault] = (
+                word << start if prev is None else prev | (word << start)
+            )
+        if drop and words:
+            live = [f for f in live if f not in detections]
+    return detections
 
 
 def _packed_shift(packed: Dict[int, int], scan) -> Dict[int, int]:

@@ -9,7 +9,7 @@ number in EXPERIMENTS.md has a single authoritative source.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -45,14 +45,17 @@ class CaseStudy:
         atpg_seed: int = 1,
         backtrack_limit: int = 100,
         target_statistical_drop_v: float = 0.15,
-        n_workers: int = 1,
+        n_workers: Union[int, str, None] = 1,
         checkpoint_dir: Optional[str] = None,
         drc: bool = True,
         telemetry: Optional[AnyTelemetry] = None,
     ):
         """``n_workers`` fans fault simulation and SCAP grading out
         across a process pool (see :mod:`repro.perf`); results are
-        bit-identical to the serial default.
+        bit-identical to the serial default.  ``"auto"`` defers the
+        batch/pool call per grading step to
+        :mod:`repro.perf.dispatch`, which sizes the pool to the cores
+        this process may actually use.
 
         ``checkpoint_dir`` makes the heavy stages durable: flows,
         per-stage ATPG results and SCAP validations persist there (via

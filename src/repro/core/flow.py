@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -161,7 +161,7 @@ class ConventionalFlow:
         domain: Optional[str] = None,
         fill: str = "random",
         seed: int = 1,
-        n_workers: int = 1,
+        n_workers: Union[int, str, None] = 1,
         **engine_kwargs,
     ):
         self.design = design
@@ -202,7 +202,7 @@ class NoiseAwarePatternGenerator:
         seed: int = 1,
         isolate_untargeted: bool = False,
         power_critical_blocks: Sequence[str] = ("B5",),
-        n_workers: int = 1,
+        n_workers: Union[int, str, None] = 1,
         grade_lane_width: int = 64,
         **engine_kwargs,
     ):
@@ -583,7 +583,7 @@ def _grade_existing(
     pattern_set: PatternSet,
     targets: Sequence[TransitionFault],
     lane_width: int = 64,
-    n_workers: int = 1,
+    n_workers: Union[int, str, None] = 1,
 ) -> Dict[TransitionFault, int]:
     """Which of *targets* the existing patterns already detect.
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -82,7 +82,7 @@ def validate_pattern_set(
     calculator: ScapCalculator,
     pattern_set,
     thresholds_mw: Dict[str, float],
-    n_workers: int = 1,
+    n_workers: Union[int, str, None] = 1,
     checkpoint: Optional[CheckpointStore] = None,
     checkpoint_key: str = "validation",
     checkpoint_chunk: int = 256,
@@ -93,6 +93,8 @@ def validate_pattern_set(
     :meth:`~repro.power.calculator.ScapCalculator.profile_patterns`
     path (machine-word logic-simulation lanes, optional worker pool,
     profile cache) — bit-exact with per-pattern profiling.
+    ``n_workers="auto"`` defers the batch/pool call to
+    :mod:`repro.perf.dispatch`.
 
     With a *checkpoint* store the pattern set is graded in chunks of
     *checkpoint_chunk* patterns and every finished chunk persists its
@@ -137,7 +139,7 @@ def validate_pattern_set(
 def _profile_with_checkpoint(
     calculator: ScapCalculator,
     pattern_set,
-    n_workers: int,
+    n_workers: Union[int, str, None],
     checkpoint: CheckpointStore,
     key_prefix: str,
     chunk: int,

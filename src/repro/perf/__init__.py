@@ -19,7 +19,18 @@ those hot paths cheap:
   hang / transient-fail chosen workers on chosen chunks) so every
   recovery path above is exercised by tests rather than trusted,
 * :mod:`~repro.perf.cache` — a digest-keyed pattern-profile cache so
-  staged flows never re-simulate an identical launch state.
+  staged flows never re-simulate an identical launch state,
+* :mod:`~repro.perf.kernel_cache` — a persistent on-disk store of the
+  fault simulator's compiled cone kernels, keyed by a structural
+  netlist fingerprint, so the per-netlist compile tax is paid once per
+  machine instead of once per run per worker,
+* :mod:`~repro.perf.shm` — zero-copy pattern transport: packed bit
+  matrices in named shared-memory segments that pool workers attach by
+  handle instead of unpickling,
+* :mod:`~repro.perf.dispatch` — the work-size-aware dispatcher behind
+  ``n_workers="auto"``: estimates serial cost, counts the cores this
+  process may actually use, and picks batch or pool (and the shm
+  transport) instead of hoping the pool wins.
 
 The consumers are :meth:`repro.atpg.fsim.FaultSimulator.run_batch`
 (multi-word fault simulation with chunked fault partitions) and
@@ -29,12 +40,35 @@ The consumers are :meth:`repro.atpg.fsim.FaultSimulator.run_batch`
 
 from . import chaos
 from .cache import PatternProfileCache, digest_key
+from .dispatch import (
+    Decision,
+    DispatchPolicy,
+    current_dispatch,
+    decide_fsim,
+    decide_scap,
+    dispatch_policy,
+    usable_cpus,
+)
+from .kernel_cache import (
+    KernelCache,
+    current_kernel_cache,
+    netlist_fingerprint,
+    use_kernel_cache,
+)
 from .pool import (
     available_workers,
     chunk_slices,
     chunked,
     pool_map,
     resolve_workers,
+)
+from .shm import (
+    SharedPatternMatrix,
+    ShmHandle,
+    active_segments,
+    resolve_matrix,
+    shared_matrix,
+    shm_available,
 )
 from .resilient import (
     ChunkFailure,
@@ -49,19 +83,36 @@ from .resilient import (
 
 __all__ = [
     "ChunkFailure",
+    "Decision",
+    "DispatchPolicy",
     "ExecutionReport",
+    "KernelCache",
     "PatternProfileCache",
     "RetryPolicy",
+    "SharedPatternMatrix",
+    "ShmHandle",
+    "active_segments",
     "available_workers",
     "chaos",
     "chunk_slices",
     "chunked",
     "collect_reports",
+    "current_dispatch",
+    "current_kernel_cache",
+    "decide_fsim",
+    "decide_scap",
     "default_policy",
     "digest_key",
+    "dispatch_policy",
     "execution_policy",
     "last_report",
+    "netlist_fingerprint",
     "pool_map",
     "resilient_map",
+    "resolve_matrix",
     "resolve_workers",
+    "shared_matrix",
+    "shm_available",
+    "usable_cpus",
+    "use_kernel_cache",
 ]

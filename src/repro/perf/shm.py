@@ -1,0 +1,185 @@
+"""Zero-copy pattern transport over named shared memory.
+
+The pool paths ship a read-only ``(n_patterns, n_flops)`` 0/1 matrix to
+every worker.  Under a ``spawn`` start method that means pickling the
+matrix once per worker (and once per chunk for the SCAP path, whose
+work items used to carry their own matrix slices); under ``fork`` it
+means a private copy-on-write page set per worker.  This module packs
+the matrix with :func:`numpy.packbits` (8 patterns per byte) into one
+named :class:`multiprocessing.shared_memory.SharedMemory` segment:
+workers *attach* by name and unpack, so the bits cross the process
+boundary zero-copy and work items shrink to ``(start, stop)`` row
+ranges.
+
+Lifecycle contract: the **creator** unlinks.  Workers attach/close;
+a worker SIGKILLed mid-chunk leaves only its (auto-reaped) mapping, so
+as long as the parent's ``unlink`` runs — :class:`shared_matrix` is a
+context manager precisely so it always does — no segment outlives the
+run.  Every create/attach/unlink bumps an ``shm.*`` telemetry counter
+and a process-local registry, which tests use to assert leak-freedom
+after chaos runs (:func:`active_segments`).
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..obs import current_telemetry
+
+try:  # pragma: no cover - always present on supported platforms
+    from multiprocessing import shared_memory as _shm_mod
+except ImportError:  # pragma: no cover
+    _shm_mod = None
+
+
+def shm_available() -> bool:
+    """Whether named shared memory is supported on this platform."""
+    return _shm_mod is not None
+
+
+#: Segments created (not yet unlinked) by this process, by name.
+_ACTIVE: Dict[str, "SharedPatternMatrix"] = {}
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_segments() -> List[str]:
+    """Names of segments this process created and has not unlinked."""
+    with _ACTIVE_LOCK:
+        return sorted(_ACTIVE)
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Everything a worker needs to attach: name + logical shape.
+
+    Plain data, cheap to pickle — this is what rides in ``initargs``
+    instead of the matrix itself.
+    """
+
+    name: str
+    n_rows: int
+    n_cols: int
+
+
+class SharedPatternMatrix:
+    """A packed bit matrix living in a named shared-memory segment."""
+
+    def __init__(self, shm, handle: ShmHandle, owner: bool):
+        self._shm = shm
+        self.handle = handle
+        self.owner = owner
+        self._unlinked = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, matrix: np.ndarray) -> "SharedPatternMatrix":
+        """Pack *matrix* (0/1, 2-D) into a fresh named segment."""
+        if _shm_mod is None:  # pragma: no cover
+            raise RuntimeError("shared memory is not available on this platform")
+        m = np.asarray(matrix)
+        if m.ndim != 2:
+            raise ValueError("shared matrix must be 2-D")
+        bits = (m != 0).astype(np.uint8, copy=False)
+        packed = np.packbits(bits, axis=1, bitorder="little")
+        name = f"repro_shm_{secrets.token_hex(6)}"
+        shm = _shm_mod.SharedMemory(name=name, create=True, size=max(1, packed.nbytes))
+        buf = np.ndarray(packed.shape, dtype=np.uint8, buffer=shm.buf)
+        buf[:] = packed
+        handle = ShmHandle(name=shm.name, n_rows=m.shape[0], n_cols=m.shape[1])
+        seg = cls(shm, handle, owner=True)
+        with _ACTIVE_LOCK:
+            _ACTIVE[shm.name] = seg
+        current_telemetry().count("shm.created")
+        return seg
+
+    @classmethod
+    def attach(cls, handle: ShmHandle) -> "SharedPatternMatrix":
+        """Attach to an existing segment (worker side)."""
+        if _shm_mod is None:  # pragma: no cover
+            raise RuntimeError("shared memory is not available on this platform")
+        # Attaching re-registers the name with the resource tracker, but
+        # pool workers share the parent's tracker process, so that is a
+        # set no-op — the one registration is cleared by the creator's
+        # unlink.  (Do NOT unregister here: with a shared tracker that
+        # would also cancel the creator's registration.)
+        shm = _shm_mod.SharedMemory(name=handle.name)
+        current_telemetry().count("shm.attached")
+        return cls(shm, handle, owner=False)
+
+    # ------------------------------------------------------------------
+    def matrix(self) -> np.ndarray:
+        """Unpack back to the original ``(n_rows, n_cols)`` 0/1 matrix."""
+        h = self.handle
+        row_bytes = (h.n_cols + 7) // 8
+        packed = np.ndarray(
+            (h.n_rows, row_bytes), dtype=np.uint8, buffer=self._shm.buf
+        )
+        if h.n_rows == 0 or h.n_cols == 0:
+            return np.zeros((h.n_rows, h.n_cols), dtype=np.uint8)
+        return np.unpackbits(
+            packed, axis=1, count=h.n_cols, bitorder="little"
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (segment itself survives)."""
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only; idempotent)."""
+        if not self.owner or self._unlinked:
+            return
+        self._unlinked = True
+        self.close()
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):
+            pass
+        with _ACTIVE_LOCK:
+            _ACTIVE.pop(self.handle.name, None)
+        current_telemetry().count("shm.unlinked")
+
+
+@contextmanager
+def shared_matrix(
+    matrix: Optional[np.ndarray],
+) -> Iterator[Optional[ShmHandle]]:
+    """Create a segment for *matrix* and guarantee the unlink.
+
+    ``None`` passes through (callers can keep one code path for the
+    optional V2 matrix).
+    """
+    if matrix is None:
+        yield None
+        return
+    seg = SharedPatternMatrix.create(matrix)
+    try:
+        yield seg.handle
+    finally:
+        seg.unlink()
+
+
+def resolve_matrix(source: "np.ndarray | ShmHandle | None"):
+    """Worker-side: a usable matrix from either transport.
+
+    ``ShmHandle`` attaches, unpacks (the unpacked matrix is a private
+    copy) and detaches immediately; anything else passes through
+    :func:`numpy.asarray`; ``None`` stays ``None``.
+    """
+    if source is None:
+        return None
+    if isinstance(source, ShmHandle):
+        seg = SharedPatternMatrix.attach(source)
+        try:
+            return seg.matrix()
+        finally:
+            seg.close()
+    return np.asarray(source)

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import warnings
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -35,7 +35,9 @@ from ..config import VDD_NOMINAL
 from ..errors import ConfigError
 from ..obs import current_telemetry
 from ..perf.cache import PatternProfileCache, digest_key
+from ..perf.dispatch import current_dispatch, decide_scap, wants_auto
 from ..perf.pool import chunk_slices, pool_map, resolve_workers
+from ..perf.shm import resolve_matrix, shared_matrix, shm_available
 from ..sim.delays import DelayModel
 from ..sim.event import EventTimingSim, TimingResult, build_launch_events
 from ..sim.fasttiming import FastTimingSim
@@ -207,7 +209,8 @@ class ScapCalculator:
         self,
         patterns,
         *,
-        n_workers: int = 1,
+        n_workers: Union[int, str, None] = 1,
+        transport: Optional[str] = None,
         lane_width: int = MAX_LANE_WIDTH,
         protocol: str = "loc",
         v2_matrix: Optional[np.ndarray] = None,
@@ -226,7 +229,16 @@ class ScapCalculator:
         n_workers:
             Fan per-pattern timing simulations out across a process
             pool (each worker rebuilds the calculator once).  ``<= 1``
-            stays serial.
+            stays serial; ``"auto"`` lets
+            :func:`repro.perf.dispatch.decide_scap` pick batch or pool
+            from the work size and usable cores.
+        transport:
+            How pool workers receive the pattern matrix: ``"inherit"``
+            pickles it into initargs, ``"shm"`` ships one packed
+            :mod:`repro.perf.shm` segment; work items are always just
+            ``(indices, start, stop)`` row ranges.  ``None`` (default)
+            decides from matrix size via the ambient
+            :class:`~repro.perf.dispatch.DispatchPolicy`.
         lane_width:
             Patterns per bit-parallel logic-simulation lane (clamped to
             one machine word).
@@ -253,6 +265,8 @@ class ScapCalculator:
                 )
         elif protocol not in ("loc", "los"):
             raise ConfigError(f"unknown protocol {protocol!r}")
+        if transport not in (None, "inherit", "shm"):
+            raise ConfigError("transport must be None, 'inherit' or 'shm'")
 
         lane_width = max(1, min(int(lane_width), MAX_LANE_WIDTH))
         cache = self.cache if protocol == "loc" and v2_matrix is None else None
@@ -300,7 +314,7 @@ class ScapCalculator:
                 )
                 profiles = self._dispatch(
                     miss_indices, miss_matrix, protocol, miss_v2,
-                    lane_width, n_workers, exec_policy,
+                    lane_width, n_workers, transport, exec_policy,
                 )
                 for row, profile in zip(miss_rows, profiles):
                     out[row] = profile
@@ -324,10 +338,26 @@ class ScapCalculator:
         protocol: str,
         v2_matrix: Optional[np.ndarray],
         lane_width: int,
-        n_workers: int,
+        n_workers: Union[int, str, None],
+        transport: Optional[str] = None,
         exec_policy=None,
     ) -> List[PatternPowerProfile]:
-        eff = resolve_workers(n_workers, matrix.shape[0])
+        n_rows = matrix.shape[0]
+        if wants_auto(n_workers):
+            decision = decide_scap(n_rows, matrix_bytes=int(matrix.nbytes))
+            eff = decision.n_workers if decision.mode == "pool" else 1
+            use_shm = (
+                decision.use_shm if transport is None else transport == "shm"
+            )
+        else:
+            eff = resolve_workers(n_workers, n_rows)
+            if transport is None:
+                use_shm = (
+                    int(matrix.nbytes) // 8
+                    >= current_dispatch().shm_min_bytes
+                )
+            else:
+                use_shm = transport == "shm"
         if eff > 1 and not self._default_delays:
             warnings.warn(
                 "custom delay models cannot be rebuilt in workers; "
@@ -336,30 +366,37 @@ class ScapCalculator:
                 stacklevel=3,
             )
             eff = 1
+        use_shm = use_shm and eff > 1 and shm_available()
         if eff <= 1:
             return self._profile_serial(
                 indices, matrix, protocol, v2_matrix, lane_width
             )
-        slices = chunk_slices(matrix.shape[0], eff * 2)
+        # The matrix ships once per worker (initargs — shm handle or
+        # pickled inline); items shrink to (indices, start, stop) row
+        # ranges instead of each dragging its own matrix slice along.
+        slices = chunk_slices(n_rows, eff * 2)
         items = [
-            (
-                tuple(indices[start:stop]),
-                matrix[start:stop],
-                v2_matrix[start:stop] if v2_matrix is not None else None,
-            )
+            (tuple(indices[start:stop]), start, stop)
             for start, stop in slices
         ]
-        results = pool_map(
-            _scap_worker_task,
-            items,
-            n_workers=eff,
-            policy=exec_policy,
-            initializer=_scap_worker_init,
-            initargs=(
-                self.design, self.domain, self.engine, self.vdd,
-                protocol, lane_width,
-            ),
-        )
+        with shared_matrix(
+            matrix if use_shm else None
+        ) as h1, shared_matrix(
+            v2_matrix if use_shm else None
+        ) as h2:
+            results = pool_map(
+                _scap_worker_task,
+                items,
+                n_workers=eff,
+                policy=exec_policy,
+                initializer=_scap_worker_init,
+                initargs=(
+                    self.design, self.domain, self.engine, self.vdd,
+                    protocol, lane_width,
+                    h1 if h1 is not None else matrix,
+                    h2 if h2 is not None else v2_matrix,
+                ),
+            )
         merged: List[PatternPowerProfile] = []
         for part in results:
             merged.extend(part)
@@ -491,21 +528,35 @@ def _scap_worker_init(
     vdd: float,
     protocol: str,
     lane_width: int,
+    v1_source=None,
+    v2_source=None,
 ) -> None:
-    """Rebuild the calculator once per worker process."""
+    """Rebuild the calculator once per worker process.
+
+    The pattern matrices arrive either inline or as
+    :mod:`repro.perf.shm` handles; tasks then only carry row ranges.
+    """
     global _SCAP_WORKER_STATE
     _SCAP_WORKER_STATE = (
         ScapCalculator(design, domain, engine=engine, vdd=vdd),
         protocol,
         lane_width,
+        resolve_matrix(v1_source),
+        resolve_matrix(v2_source),
     )
 
 
 def _scap_worker_task(item) -> List[PatternPowerProfile]:
-    """Grade one contiguous pattern chunk (runs in a worker)."""
-    indices, matrix, v2 = item
-    calc, protocol, lane_width = _SCAP_WORKER_STATE
-    return calc._profile_serial(indices, matrix, protocol, v2, lane_width)
+    """Grade one contiguous pattern row range (runs in a worker)."""
+    indices, start, stop = item
+    calc, protocol, lane_width, v1, v2 = _SCAP_WORKER_STATE
+    return calc._profile_serial(
+        indices,
+        v1[start:stop],
+        protocol,
+        v2[start:stop] if v2 is not None else None,
+        lane_width,
+    )
 
 
 # ----------------------------------------------------------------------

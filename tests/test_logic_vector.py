@@ -1,0 +1,137 @@
+"""The vectorised logic-simulation engine vs the bigint reference.
+
+The numpy path groups gates by (level, kind, fan-in) and propagates a
+``(n_nets, n_words)`` uint64 matrix; bitwise ops never mix bit
+positions, so for every netlist and every pattern count it must be
+bit-for-bit the bigint engine.  These tests pin that, plus the
+auto-dispatch thresholds and the engine parameter's contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.logic import (
+    VECTOR_MAX_PATTERNS,
+    VECTOR_MIN_GATES,
+    VECTOR_MIN_PATTERNS,
+    LogicSim,
+    loc_launch_capture,
+    pack_matrix,
+    values_to_words,
+    words_to_values,
+)
+from repro.soc import build_turbo_eagle
+
+from .strategies import random_netlist
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_turbo_eagle("tiny", seed=2007)
+
+
+def _state(netlist, n_patterns, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(
+        0, 2, size=(n_patterns, netlist.n_flops), dtype=np.int8
+    )
+    return pack_matrix(matrix)
+
+
+class TestWordCodec:
+    @pytest.mark.parametrize("n_patterns", [1, 3, 63, 64, 65, 150, 256])
+    def test_round_trip(self, n_patterns):
+        rng = np.random.default_rng(n_patterns)
+        mask = (1 << n_patterns) - 1
+        values = [
+            int.from_bytes(rng.bytes((n_patterns + 7) // 8), "little") & mask
+            for _ in range(17)
+        ]
+        words = values_to_words(values, n_patterns)
+        assert words.dtype == np.uint64
+        assert words.shape == (17, (n_patterns + 63) // 64)
+        assert words_to_values(words, mask) == values
+
+    def test_tail_bits_masked_out(self):
+        # A stray bit above the pattern count must not survive the
+        # conversion back (the vector engine relies on this for the
+        # final tail lane).
+        words = np.full((1, 1), np.uint64(0xFF), dtype=np.uint64)
+        assert words_to_values(words, 0b111) == [0b111]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("n_patterns", [1, 5, 64, 150, 256])
+    def test_soc_run_matches(self, design, n_patterns):
+        sim = LogicSim(design.netlist)
+        packed, mask = _state(design.netlist, n_patterns, n_patterns)
+        big = sim.run(packed, mask=mask, engine="bigint")
+        vec = sim.run(packed, mask=mask, engine="vector")
+        assert vec == big
+
+    def test_with_primary_inputs(self, design):
+        nl = design.netlist
+        sim = LogicSim(nl)
+        packed, mask = _state(nl, 96, 42)
+        rng = np.random.default_rng(43)
+        pi = {
+            net: int(rng.integers(0, 1 << 63)) & mask
+            for net in nl.primary_inputs
+        }
+        assert sim.run(packed, pi=pi, mask=mask, engine="vector") == sim.run(
+            packed, pi=pi, mask=mask, engine="bigint"
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_random_netlists_match(self, data):
+        nl = data.draw(random_netlist())
+        sim = LogicSim(nl)
+        n_pat = data.draw(st.integers(min_value=1, max_value=130))
+        packed, mask = _state(nl, n_pat, data.draw(st.integers(0, 999)))
+        assert sim.run(packed, mask=mask, engine="vector") == sim.run(
+            packed, mask=mask, engine="bigint"
+        )
+
+    def test_loc_cycle_unaffected_by_engine(self, design):
+        # The launch-capture helper sits above run(); both engines must
+        # produce identical frames through it.
+        nl = design.netlist
+        packed, mask = _state(nl, 64, 5)
+        sim = LogicSim(nl)
+        cyc = loc_launch_capture(sim, packed, design.dominant_domain(),
+                                 mask=mask)
+        forced = sim.run(packed, mask=mask, engine="vector")
+        assert forced == sim.run(packed, mask=mask, engine="bigint")
+        assert cyc.frame1[: nl.n_nets] == sim.run(
+            packed, mask=mask
+        )
+
+
+class TestAutoDispatch:
+    def test_unknown_engine_rejected(self, design):
+        sim = LogicSim(design.netlist)
+        with pytest.raises(SimulationError):
+            sim.run({}, mask=1, engine="quantum")
+
+    def test_profitability_thresholds(self, design):
+        sim = LogicSim(design.netlist)
+        big_design = design.netlist.n_gates >= VECTOR_MIN_GATES
+        assert sim._vector_profitable(VECTOR_MIN_PATTERNS) == big_design
+        assert not sim._vector_profitable(VECTOR_MIN_PATTERNS - 1)
+        assert not sim._vector_profitable(VECTOR_MAX_PATTERNS + 1)
+
+    def test_small_netlist_stays_bigint(self, tiny_comb):
+        sim = LogicSim(tiny_comb)
+        assert not sim._vector_profitable(64)
+
+    def test_vector_plan_covers_every_gate(self, design):
+        sim = LogicSim(design.netlist)
+        plan = sim.vector_plan()
+        covered = sum(outs.size for _kind, _ins, outs in plan)
+        assert covered == design.netlist.n_gates

@@ -1,0 +1,324 @@
+"""Zero-copy shm transport and the work-size-aware dispatcher.
+
+The transport is only a win if it is *safe*: segments must never
+outlive the run (even when a worker is SIGKILLed mid-chunk) and the
+unpacked matrix must be bit-identical to what the parent packed.  The
+dispatcher is only trustworthy if its decisions are a pure function of
+(policy, work size, usable cores).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atpg.faults import build_fault_universe, collapse_faults
+from repro.atpg.fsim import FaultSimulator
+from repro.errors import AtpgError, ConfigError
+from repro.obs import Telemetry, use_telemetry
+from repro.perf import chaos
+from repro.perf.dispatch import (
+    DispatchPolicy,
+    current_dispatch,
+    decide_fsim,
+    decide_scap,
+    dispatch_policy,
+    usable_cpus,
+    wants_auto,
+)
+from repro.perf.resilient import RetryPolicy
+from repro.perf.shm import (
+    SharedPatternMatrix,
+    ShmHandle,
+    active_segments,
+    resolve_matrix,
+    shared_matrix,
+    shm_available,
+)
+from repro.power.calculator import ScapCalculator
+from repro.soc import build_turbo_eagle
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="shared memory unsupported here"
+)
+
+
+# ----------------------------------------------------------------------
+# shared memory transport
+# ----------------------------------------------------------------------
+class TestSharedPatternMatrix:
+    @pytest.mark.parametrize(
+        "shape", [(1, 1), (3, 8), (5, 7), (64, 129), (150, 40)]
+    )
+    def test_round_trip_bit_identical(self, shape):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 2, size=shape, dtype=np.uint8)
+        seg = SharedPatternMatrix.create(matrix)
+        try:
+            other = SharedPatternMatrix.attach(seg.handle)
+            np.testing.assert_array_equal(other.matrix(), matrix)
+            other.close()
+        finally:
+            seg.unlink()
+        assert active_segments() == []
+
+    def test_packing_is_eight_to_one(self):
+        matrix = np.ones((4, 800), dtype=np.uint8)
+        seg = SharedPatternMatrix.create(matrix)
+        try:
+            assert seg._shm.size < matrix.nbytes // 4
+        finally:
+            seg.unlink()
+
+    def test_empty_matrix(self):
+        matrix = np.zeros((0, 16), dtype=np.uint8)
+        seg = SharedPatternMatrix.create(matrix)
+        try:
+            assert seg.matrix().shape == (0, 16)
+        finally:
+            seg.unlink()
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            SharedPatternMatrix.create(np.zeros(8, dtype=np.uint8))
+
+    def test_unlink_is_idempotent_and_owner_only(self):
+        matrix = np.ones((2, 9), dtype=np.uint8)
+        seg = SharedPatternMatrix.create(matrix)
+        worker = SharedPatternMatrix.attach(seg.handle)
+        worker.unlink()  # non-owner: must be a no-op
+        assert active_segments() == [seg.handle.name]
+        worker.close()
+        seg.unlink()
+        seg.unlink()  # second unlink: no error
+        assert active_segments() == []
+
+    def test_context_manager_unlinks_on_exception(self):
+        matrix = np.ones((2, 9), dtype=np.uint8)
+        with pytest.raises(RuntimeError):
+            with shared_matrix(matrix):
+                assert len(active_segments()) == 1
+                raise RuntimeError("boom")
+        assert active_segments() == []
+
+    def test_context_manager_none_passthrough(self):
+        with shared_matrix(None) as handle:
+            assert handle is None
+        assert active_segments() == []
+
+    def test_resolve_matrix_both_transports(self):
+        matrix = np.eye(6, dtype=np.uint8)
+        assert resolve_matrix(None) is None
+        np.testing.assert_array_equal(resolve_matrix(matrix), matrix)
+        with shared_matrix(matrix) as handle:
+            assert isinstance(handle, ShmHandle)
+            got = resolve_matrix(handle)
+            np.testing.assert_array_equal(got, matrix)
+            # the resolved matrix is a private copy, usable after unlink
+        np.testing.assert_array_equal(got, matrix)
+
+    def test_telemetry_counters(self):
+        tel = Telemetry(tracing=False)
+        matrix = np.ones((3, 5), dtype=np.uint8)
+        with use_telemetry(tel):
+            with shared_matrix(matrix) as handle:
+                SharedPatternMatrix.attach(handle).close()
+        counters = {
+            name: tel.metrics.counter(name).value()
+            for name in ("shm.created", "shm.attached", "shm.unlinked")
+        }
+        assert counters == {
+            "shm.created": 1, "shm.attached": 1, "shm.unlinked": 1,
+        }
+
+
+class TestNoLeakedSegments:
+    """Satellite contract: no segment outlives a run — even a chaotic one."""
+
+    @pytest.fixture(scope="class")
+    def graded(self):
+        design = build_turbo_eagle("tiny", seed=2007)
+        domain = design.dominant_domain()
+        nl = design.netlist
+        reps, _ = collapse_faults(nl, build_fault_universe(nl))
+        rng = np.random.default_rng(13)
+        matrix = rng.integers(0, 2, size=(128, nl.n_flops), dtype=np.int8)
+        ref = FaultSimulator(nl, domain, kernel_cache=None).run_batch(
+            matrix, reps
+        )
+        return design, domain, list(reps), matrix, ref
+
+    def test_clean_run_leaves_nothing(self, graded):
+        design, domain, reps, matrix, ref = graded
+        sim = FaultSimulator(design.netlist, domain, kernel_cache=None)
+        got = sim.run_batch(matrix, reps, n_workers=2, transport="shm")
+        assert got == ref
+        assert active_segments() == []
+
+    @pytest.mark.chaos
+    def test_killed_worker_leaves_nothing(self, graded):
+        # SIGKILL the worker on its first chunk; the retry machinery
+        # rebuilds the pool, the new worker re-attaches the same
+        # segment, and the parent's unlink still runs: bit-identical
+        # result, zero leaked segments.
+        design, domain, reps, matrix, ref = graded
+        sim = FaultSimulator(design.netlist, domain, kernel_cache=None)
+        fast = RetryPolicy(
+            backoff_base_s=0.001, backoff_max_s=0.01, jitter=0.0
+        )
+        with chaos.inject(chaos.ChaosSpec(kill={0: (0,)})):
+            got = sim.run_batch(
+                matrix, reps, n_workers=2, transport="shm",
+                exec_policy=fast,
+            )
+        assert got == ref
+        assert active_segments() == []
+
+    def test_scap_shm_leaves_nothing(self, graded):
+        design, _domain, _reps, matrix, _ref = graded
+        calc = ScapCalculator(design)
+        serial = calc.profile_patterns(matrix[:24])
+        pooled = calc.profile_patterns(
+            matrix[:24], n_workers=2, transport="shm"
+        )
+        assert pooled == serial
+        assert active_segments() == []
+
+
+# ----------------------------------------------------------------------
+# dispatcher
+# ----------------------------------------------------------------------
+class TestDispatchPolicy:
+    def test_defaults_are_auto(self):
+        policy = DispatchPolicy()
+        assert policy.mode == "auto"
+        assert policy.transport == "auto"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            DispatchPolicy(mode="serialish")
+        with pytest.raises(ConfigError):
+            DispatchPolicy(transport="carrier-pigeon")
+
+    def test_scoping_composes(self):
+        base = current_dispatch()
+        with dispatch_policy(mode="pool", n_workers=3) as outer:
+            assert current_dispatch() is outer
+            with dispatch_policy(transport="shm") as inner:
+                assert inner.mode == "pool"  # inherited
+                assert inner.transport == "shm"
+            assert current_dispatch() is outer
+        assert current_dispatch() is base
+
+    def test_wants_auto(self):
+        assert wants_auto("auto")
+        assert not wants_auto(4)
+        assert not wants_auto(None)
+        assert not wants_auto(1)
+
+
+class TestDecisions:
+    def test_usable_cpus_positive(self):
+        assert usable_cpus() >= 1
+
+    def test_tiny_work_stays_batch(self):
+        with dispatch_policy(n_workers=8):
+            decision = decide_fsim(64, 10)
+        assert decision.mode == "batch"
+        assert decision.n_workers == 1
+
+    def test_huge_work_goes_pool(self):
+        with dispatch_policy(n_workers=8):
+            decision = decide_fsim(10_000, 50_000)
+        assert decision.mode == "pool"
+        assert decision.n_workers > 1
+        assert "overhead" in decision.reason
+
+    def test_single_core_never_pools(self):
+        with dispatch_policy(n_workers=1):
+            decision = decide_fsim(10_000, 50_000)
+        assert decision.mode == "batch"
+        assert decision.reason == "single core"
+
+    def test_forced_modes_win(self):
+        with dispatch_policy(mode="batch", n_workers=8):
+            assert decide_fsim(10_000, 50_000).mode == "batch"
+        with dispatch_policy(mode="pool", n_workers=8):
+            decision = decide_scap(4)
+            assert decision.mode == "pool"
+            assert decision.reason == "forced pool"
+
+    def test_pool_capped_by_items(self):
+        with dispatch_policy(mode="pool", n_workers=8):
+            assert decide_scap(3).n_workers <= 3
+
+    def test_scap_estimate_scales_with_patterns(self):
+        with dispatch_policy(n_workers=8):
+            small = decide_scap(4)
+            large = decide_scap(100_000)
+        assert small.est_serial_s < large.est_serial_s
+        assert small.mode == "batch"
+        assert large.mode == "pool"
+
+    def test_shm_transport_needs_size(self):
+        big = 1 << 22
+        with dispatch_policy(mode="pool", n_workers=4):
+            assert decide_fsim(10_000, 50_000, matrix_bytes=big).use_shm
+            assert not decide_fsim(10_000, 50_000, matrix_bytes=64).use_shm
+        with dispatch_policy(mode="pool", n_workers=4, transport="inherit"):
+            assert not decide_fsim(
+                10_000, 50_000, matrix_bytes=big
+            ).use_shm
+        with dispatch_policy(mode="pool", n_workers=4, transport="shm"):
+            assert decide_fsim(10_000, 50_000, matrix_bytes=64).use_shm
+
+    def test_explicit_policy_object_wins(self):
+        policy = DispatchPolicy(mode="pool", n_workers=2)
+        decision = decide_fsim(10_000, 50_000, policy=policy)
+        assert decision.mode == "pool"
+        assert decision.n_workers == 2
+
+    def test_decisions_counted(self):
+        tel = Telemetry(tracing=False)
+        with use_telemetry(tel):
+            with dispatch_policy(n_workers=8):
+                decide_fsim(64, 10)
+                decide_scap(100_000)
+        assert tel.metrics.counter("dispatch.fsim").value(mode="batch") == 1
+        assert tel.metrics.counter("dispatch.scap").value(mode="pool") == 1
+
+
+class TestCallSiteValidation:
+    def test_fsim_rejects_bad_transport(self):
+        design = build_turbo_eagle("tiny", seed=2007)
+        sim = FaultSimulator(
+            design.netlist, design.dominant_domain(), kernel_cache=None
+        )
+        with pytest.raises(AtpgError):
+            sim.run_batch(
+                np.zeros((4, design.netlist.n_flops), dtype=np.uint8),
+                [],
+                transport="telepathy",
+            )
+
+    def test_scap_rejects_bad_transport(self):
+        design = build_turbo_eagle("tiny", seed=2007)
+        calc = ScapCalculator(design)
+        with pytest.raises(ConfigError):
+            calc.profile_patterns(
+                np.zeros((4, design.netlist.n_flops), dtype=np.uint8),
+                transport="telepathy",
+            )
+
+    def test_auto_is_bit_identical_under_forced_pool(self):
+        design = build_turbo_eagle("tiny", seed=2007)
+        domain = design.dominant_domain()
+        nl = design.netlist
+        reps, _ = collapse_faults(nl, build_fault_universe(nl))
+        rng = np.random.default_rng(3)
+        matrix = rng.integers(0, 2, size=(96, nl.n_flops), dtype=np.int8)
+        sim = FaultSimulator(nl, domain, kernel_cache=None)
+        ref = sim.run_batch(matrix, reps)
+        with dispatch_policy(mode="pool", n_workers=2, transport="shm"):
+            got = sim.run_batch(matrix, reps, n_workers="auto")
+        assert got == ref
