@@ -18,6 +18,7 @@ paper-vs-measured record of every table and figure.
 """
 
 from .config import ElectricalEnv, K_VOLT, VDD_NOMINAL
+from .context import RunContext, current_run_context, use_run_context
 from .drc import DrcReport, Violation, check_design, run_drc
 from .core import (
     CaseStudy,
@@ -57,8 +58,10 @@ __all__ = [
     "SocDesign",
     "VDD_NOMINAL",
     "Violation",
+    "RunContext",
     "build_turbo_eagle",
     "check_design",
+    "current_run_context",
     "derive_scap_thresholds",
     "execution_policy",
     "ir_scaled_endpoint_comparison",
@@ -66,6 +69,7 @@ __all__ = [
     "resilient_map",
     "run_drc",
     "run_noise_tolerant_flow",
+    "use_run_context",
     "validate_pattern_set",
     "__version__",
 ]

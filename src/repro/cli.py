@@ -13,6 +13,7 @@ Commands
 ``floorplan``   print the synthetic SOC floorplan,
 ``flow``        run the staged noise-tolerant flow with checkpoint/resume,
 ``drc``         static design-rule check / testability lint (no simulation),
+``schedule``    power/TAM-constrained SOC test schedule (greedy vs binpack),
 ``obs``         inspect telemetry artifacts (traces, reports).
 
 Every command accepts ``--scale`` (tiny/small/bench/full), ``--seed``
@@ -29,7 +30,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import CaseStudy
+from . import CaseStudy, RunContext
 from .drc import FAIL_ON_CHOICES
 from .obs import LOG_LEVELS, setup_logging
 from .reporting import format_table
@@ -205,9 +206,22 @@ def cmd_flow(args) -> int:
         max_patterns=args.max_patterns,
         stop_after_stage=args.stop_after,
         report_path=args.report,
-        telemetry=telemetry,
+        context=RunContext(telemetry=telemetry),
+        schedule_budget_mw=args.schedule_budget,
+        schedule_strategy=args.schedule_strategy,
         seed=1,
     )
+    if report.schedule is not None:
+        if "error" in report.schedule:
+            print(f"schedule: {report.schedule['error']}", file=sys.stderr)
+        else:
+            print(
+                f"schedule ({report.schedule['strategy']}): "
+                f"{report.schedule['n_blocks']} blocks in "
+                f"{report.schedule['makespan_us']:.2f} us, "
+                f"peak {report.schedule['peak_power_mw']:.2f} mW / "
+                f"budget {report.schedule['power_budget_mw']:.2f} mW"
+            )
     for stage in report.stages:
         origin = " (from checkpoint)" if stage.from_checkpoint else ""
         print(f"  {stage.name}: {stage.status}{origin}")
@@ -247,6 +261,76 @@ def cmd_flow(args) -> int:
     # A deliberate --stop-after partial run exits 0; only a run that
     # actually failed (or produced nothing) signals an error.
     return 3 if report.status == RUN_FAILED or report.error else 0
+
+
+def cmd_schedule(args) -> int:
+    import json
+
+    from .core.scheduling import (
+        ScheduleBudget,
+        budget_sweep,
+        generate_block_specs,
+        get_scheduler,
+    )
+    from .errors import ConfigError
+
+    if args.synthetic:
+        specs = generate_block_specs(args.synthetic, seed=args.seed)
+        tam = args.tam_width
+    else:
+        from .core.scheduling import specs_from_design
+        from .power.static_bound import StaticScapBound
+
+        study = _study(args)
+        design = study.design
+        bound = StaticScapBound(design, study.domain)
+        specs = specs_from_design(
+            design,
+            bound.test_power_bounds_mw(),
+            {b: args.patterns for b in design.blocks()},
+        )
+        tam = (
+            args.tam_width
+            if args.tam_width is not None
+            else design.tam_width
+        )
+
+    if args.power_budget is not None:
+        budgets = [args.power_budget]
+    else:
+        budgets = budget_sweep(specs)
+    strategies = (
+        ["greedy", "binpack"] if args.strategy == "both"
+        else [args.strategy]
+    )
+
+    rows = []
+    try:
+        for budget_mw in budgets:
+            budget = ScheduleBudget(power_mw=budget_mw, tam_width=tam)
+            for strategy in strategies:
+                schedule = get_scheduler(strategy).schedule(specs, budget)
+                schedule.validate()
+                rows.append({
+                    "budget_mw": round(budget_mw, 3),
+                    "strategy": strategy,
+                    "makespan_us": round(schedule.makespan_us, 3),
+                    "peak_power_mw": round(schedule.peak_power_mw, 3),
+                    "speedup": round(schedule.speedup, 3),
+                })
+    except ConfigError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 2
+    print(format_table(
+        rows, title=f"power-constrained test schedules "
+                    f"({len(specs)} blocks, TAM width {tam}):",
+    ))
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump({"tam_width": tam, "rows": rows}, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    return 0
 
 
 def cmd_drc(args) -> int:
@@ -446,7 +530,38 @@ def main(argv=None) -> int:
                    help="write the metrics snapshot as JSON")
     p.add_argument("--profile", action="store_true",
                    help="cProfile each stage and print the hotspot table")
+    p.add_argument("--schedule-budget", type=float, metavar="MW",
+                   help="also build a power-constrained SOC test "
+                        "schedule under this chip-wide envelope")
+    p.add_argument("--schedule-strategy", default="binpack",
+                   choices=["greedy", "binpack"],
+                   help="scheduler for --schedule-budget "
+                        "(default: binpack)")
     p.set_defaults(fn=cmd_flow)
+
+    p = sub.add_parser(
+        "schedule",
+        help="power/TAM-constrained SOC test schedule (greedy vs binpack)",
+    )
+    _add_common(p)
+    p.add_argument("--strategy", default="both",
+                   choices=["greedy", "binpack", "both"],
+                   help="scheduler(s) to run (default: both, for "
+                        "side-by-side comparison)")
+    p.add_argument("--power-budget", type=float, metavar="MW",
+                   help="chip-wide power envelope (default: sweep a "
+                        "Pareto range derived from the block powers)")
+    p.add_argument("--tam-width", type=int, metavar="W",
+                   help="TAM width in lines (default: the design's)")
+    p.add_argument("--patterns", type=int, default=64, metavar="N",
+                   help="pattern count per block when scheduling the "
+                        "generated design (default: 64)")
+    p.add_argument("--synthetic", type=int, metavar="N",
+                   help="schedule a generated N-block abstract SOC "
+                        "instead of the Turbo-Eagle design")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the schedule rows as JSON")
+    p.set_defaults(fn=cmd_schedule)
 
     p = sub.add_parser(
         "obs", help="inspect telemetry artifacts (traces, run reports)"

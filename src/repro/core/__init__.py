@@ -23,10 +23,23 @@ from .validation import ScapViolation, ValidationReport, validate_pattern_set
 from .irscale import IrScaledComparison, ir_scaled_endpoint_comparison
 from .casestudy import CaseStudy
 from .scheduling import (
+    BinPackingScheduler,
+    BlockTestSpec,
     BlockTestTask,
+    GreedyScheduler,
+    Placement,
+    ScheduleBudget,
     ScheduleSession,
+    Scheduler,
+    TamCandidate,
     TestSchedule,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
     schedule_block_tests,
+    schedule_tests,
+    specs_from_design,
+    specs_from_flow,
     tasks_from_flow,
 )
 from .ftas import FtasReport, PatternFtas, ftas_analysis
@@ -36,8 +49,21 @@ from .overkill import OverkillReport, PatternOverkill, overkill_analysis
 from .repair import RepairOutcome, repair_pattern_set
 
 __all__ = [
+    "BinPackingScheduler",
     "BinningResult",
+    "BlockTestSpec",
     "BlockTestTask",
+    "GreedyScheduler",
+    "Placement",
+    "ScheduleBudget",
+    "Scheduler",
+    "TamCandidate",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
+    "schedule_tests",
+    "specs_from_design",
+    "specs_from_flow",
     "binning_simulation",
     "guardband_for_yield",
     "CaseStudy",

@@ -8,17 +8,18 @@ number in EXPERIMENTS.md has a single authoritative source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from contextlib import nullcontext
+from contextlib import contextmanager
 
 from ..atpg.faults import build_fault_universe
 from ..config import ElectricalEnv
+from ..context import RunContext, use_run_context
 from ..errors import ConfigError
-from ..obs import AnyTelemetry, current_telemetry, use_telemetry
+from ..obs import AnyTelemetry, current_telemetry
 from ..pgrid.dynamic_ir import DynamicIrResult, dynamic_ir_for_pattern
 from ..pgrid.grid import GridModel
 from ..perf.cache import PatternProfileCache
@@ -49,6 +50,7 @@ class CaseStudy:
         checkpoint_dir: Optional[str] = None,
         drc: bool = True,
         telemetry: Optional[AnyTelemetry] = None,
+        context: Optional[RunContext] = None,
     ):
         """``n_workers`` fans fault simulation and SCAP grading out
         across a process pool (see :mod:`repro.perf`); results are
@@ -71,10 +73,13 @@ class CaseStudy:
         unwaived ERROR violations (it never should — the gate exists so
         modified generators and hand-edited netlists fail fast).
 
-        ``telemetry`` (a :class:`~repro.obs.Telemetry`) is scoped over
-        every heavy stage (flows, SCAP validation), so one facade
-        collects the whole case study's spans and metrics; ``None``
-        leaves the ambient facade alone.
+        ``context`` (a :class:`~repro.context.RunContext`) is scoped
+        over every heavy stage (flows, SCAP validation, scheduling), so
+        one session object configures telemetry, execution policy,
+        dispatch policy and the kernel cache for the whole case study;
+        inherit-valued fields leave the ambient configuration alone.
+        The legacy ``telemetry`` kwarg is deprecated sugar for
+        ``context=RunContext(telemetry=...)``.
         """
         self.design = build_turbo_eagle(scale, seed)
         self.domain = self.design.dominant_domain()
@@ -98,7 +103,17 @@ class CaseStudy:
                 target_statistical_drop_v=target_statistical_drop_v,
             )
             self._checkpoint = CheckpointStore(checkpoint_dir, fingerprint)
-        self.telemetry = telemetry
+        self.context = context if context is not None else RunContext()
+        if telemetry is not None:
+            warnings.warn(
+                "telemetry= is deprecated; pass "
+                "context=RunContext(telemetry=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if self.context.telemetry is None:
+                self.context = self.context.with_telemetry(telemetry)
+        self.telemetry = self.context.telemetry
         self.drc_enabled = drc
         self._drc_gate_report = None
         self._model: Optional[GridModel] = None
@@ -172,12 +187,16 @@ class CaseStudy:
             key += f"_max{max_patterns}"
         return key
 
+    @contextmanager
     def _tel_scope(self):
-        """Scope this study's telemetry (no-op when none was given, so
-        an ambient facade installed by the caller still applies)."""
-        if self.telemetry is not None:
-            return use_telemetry(self.telemetry)
-        return nullcontext(current_telemetry())
+        """Scope this study's session context over a heavy stage.
+
+        Inherit-valued fields (the default) leave the ambient
+        configuration alone, so a facade or policy installed by the
+        caller still applies; yields the effective telemetry facade.
+        """
+        with use_run_context(self.context):
+            yield current_telemetry()
 
     def conventional(self, max_patterns: Optional[int] = None) -> FlowResult:
         """The random-fill baseline flow (cached + checkpointed)."""
@@ -422,6 +441,63 @@ class CaseStudy:
         return ir_scaled_endpoint_comparison(
             self.calculator, self.model, pattern, env=env
         )
+
+    # ------------------------------------------------------------------
+    # SOC test scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        power_budget_mw: Optional[float] = None,
+        strategy: str = "binpack",
+        tam_width: Optional[int] = None,
+        flow_name: str = "staged",
+    ):
+        """Power/TAM-constrained SOC test schedule for one flow.
+
+        Per-block test powers are the sound chip-wide
+        :class:`~repro.power.static_bound.StaticScapBound` bounds,
+        test times come from wrapper partitioning of the flow's
+        per-block pattern counts, and *strategy* (``"binpack"`` or
+        ``"greedy"``) packs the candidate rectangles under the power
+        envelope and the design's TAM width (override with
+        *tam_width*).
+
+        Without *power_budget_mw* a feasible default is derived from
+        the bounds themselves: 60 % of the summed per-block minima
+        (some parallelism possible, full parallelism not), floored just
+        above the hungriest single block.  Returns a validated
+        :class:`~repro.core.scheduling.TestSchedule`.
+        """
+        from ..power.static_bound import StaticScapBound
+        from .scheduling import ScheduleBudget, get_scheduler, specs_from_flow
+
+        flow = (
+            self.conventional()
+            if flow_name == "conventional"
+            else self.staged()
+        )
+        with self._tel_scope() as tel:
+            with tel.span("flow.schedule", strategy=strategy):
+                bound = StaticScapBound(self.design, self.domain)
+                powers = bound.test_power_bounds_mw()
+                specs = specs_from_flow(self.design, flow, powers)
+                budget = power_budget_mw
+                if budget is None:
+                    floor = max(s.min_power_mw for s in specs)
+                    budget = max(
+                        0.6 * sum(s.min_power_mw for s in specs),
+                        floor * 1.01,
+                    )
+                width = (
+                    tam_width
+                    if tam_width is not None
+                    else self.design.tam_width
+                )
+                schedule = get_scheduler(strategy).schedule(
+                    specs, ScheduleBudget(power_mw=budget, tam_width=width)
+                )
+                schedule.validate()
+        return schedule
 
     # ------------------------------------------------------------------
     def export(self, out_dir: str) -> List[str]:

@@ -17,7 +17,9 @@ pattern-count increase (Figure 4).
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -27,6 +29,7 @@ from ..atpg.engine import AtpgEngine, AtpgResult
 from ..atpg.faults import TransitionFault, build_fault_universe, collapse_faults
 from ..atpg.fsim import FaultSimulator, first_detection_index
 from ..atpg.patterns import PatternSet
+from ..context import RunContext, use_run_context
 from ..errors import ConfigError, DrcError
 from ..obs import AnyTelemetry, current_telemetry, use_telemetry
 from ..perf.resilient import collect_reports
@@ -462,6 +465,10 @@ def run_noise_tolerant_flow(
     drc: bool = True,
     drc_waivers=None,
     telemetry: Optional[AnyTelemetry] = None,
+    context: Optional[RunContext] = None,
+    schedule_budget_mw: Optional[float] = None,
+    schedule_strategy: str = "binpack",
+    schedule_tam_width: Optional[int] = None,
     **generator_kwargs,
 ) -> Tuple[Optional[FlowResult], RunReport]:
     """The staged noise-aware flow as a fault-tolerant, resumable run.
@@ -488,13 +495,41 @@ def run_noise_tolerant_flow(
     writing the report): generating patterns on a netlist that fails
     its design rules would waste every downstream stage.
 
-    *telemetry* (a :class:`~repro.obs.Telemetry`) scopes tracing,
-    metrics and profiling over the whole run — every layer down to the
-    worker chunks reports into it, and its snapshot lands in
-    ``report.telemetry``.  ``None`` (the default) runs with the null
-    facade: no signals, bit-identical results.
+    *context* (a :class:`~repro.context.RunContext`) scopes the whole
+    session configuration — telemetry, execution policy, dispatch
+    policy and kernel cache — over the run.  The legacy *telemetry*
+    kwarg is deprecated sugar for ``context=RunContext(telemetry=...)``
+    (a :class:`DeprecationWarning` is emitted); either way ``None``
+    telemetry runs with the null facade: no signals, bit-identical
+    results, and the telemetry snapshot lands in ``report.telemetry``.
+
+    With *schedule_budget_mw* set, a successful generation run is
+    followed by a SOC test-scheduling stage: per-block test powers come
+    from the sound :class:`~repro.power.static_bound.StaticScapBound`
+    chip-wide bounds, times from wrapper partitioning of the flow's
+    per-block pattern counts, and the *schedule_strategy* scheduler
+    (``"binpack"`` by default, see
+    :func:`~repro.core.scheduling.available_schedulers`) packs them
+    under the power envelope and the optional *schedule_tam_width*.
+    The validated schedule digest lands in ``report.schedule``; an
+    infeasible budget records a failed stage (raising only under
+    ``strict=True``).
     """
-    with use_telemetry(telemetry) as tel:
+    ctx = context if context is not None else RunContext()
+    if telemetry is not None:
+        warnings.warn(
+            "telemetry= is deprecated; pass "
+            "context=RunContext(telemetry=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if ctx.telemetry is None:
+            ctx = ctx.with_telemetry(telemetry)
+    # The non-telemetry knobs scope ambiently; telemetry keeps the
+    # historical contract that ``None`` *forces* the null facade (it
+    # does not inherit), so it is scoped explicitly.
+    with use_run_context(dataclasses.replace(ctx, telemetry=None)), \
+            use_telemetry(ctx.telemetry) as tel:
         generator = NoiseAwarePatternGenerator(
             design, domain, **generator_kwargs
         )
@@ -568,6 +603,47 @@ def run_noise_tolerant_flow(
                 if strict:
                     raise
                 return None, report
+
+            if schedule_budget_mw is not None:
+                stage_started = time.time()
+                try:
+                    with tel.span(
+                        "flow.schedule", strategy=schedule_strategy
+                    ):
+                        schedule = _schedule_from_flow(
+                            design, generator.domain, flow_result,
+                            budget_mw=schedule_budget_mw,
+                            strategy=schedule_strategy,
+                            tam_width=schedule_tam_width,
+                        )
+                except ConfigError as exc:
+                    report.schedule = {
+                        "error": str(exc),
+                        "strategy": schedule_strategy,
+                        "power_budget_mw": schedule_budget_mw,
+                    }
+                    report.record_stage(
+                        "schedule", "failed", detail={"error": repr(exc)}
+                    )
+                    report.status = RUN_PARTIAL
+                    tel.log.error("schedule stage failed: %s", exc)
+                    if strict:
+                        finalize()
+                        if report_path is not None:
+                            report.save(report_path)
+                        raise
+                else:
+                    report.schedule = schedule.summary()
+                    report.record_stage(
+                        "schedule", "completed",
+                        detail={
+                            "strategy": schedule.strategy,
+                            "makespan_us": schedule.makespan_us,
+                            "elapsed_s": round(
+                                time.time() - stage_started, 6
+                            ),
+                        },
+                    )
         tel.log.info(
             "flow %s: %d pattern(s)", report.status,
             flow_result.n_patterns if flow_result is not None else 0,
@@ -576,6 +652,38 @@ def run_noise_tolerant_flow(
         if report_path is not None:
             report.save(report_path)
         return flow_result, report
+
+
+def _schedule_from_flow(
+    design: SocDesign,
+    domain: str,
+    flow_result: FlowResult,
+    *,
+    budget_mw: float,
+    strategy: str = "binpack",
+    tam_width: Optional[int] = None,
+):
+    """Power/TAM-constrained test schedule for a finished flow.
+
+    Block test powers are the chip-wide
+    :class:`~repro.power.static_bound.StaticScapBound` bounds (sound:
+    a schedule feasible under them is feasible under the true SCAP),
+    times come from wrapper partitioning of the flow's per-block
+    pattern counts, and the *strategy* scheduler packs the candidate
+    rectangles.  The returned schedule has been ``validate()``-ed.
+    """
+    from ..power.static_bound import StaticScapBound
+    from .scheduling import ScheduleBudget, get_scheduler, specs_from_flow
+
+    bound = StaticScapBound(design, domain)
+    powers = bound.test_power_bounds_mw()
+    specs = specs_from_flow(design, flow_result, powers)
+    width = tam_width if tam_width is not None else design.tam_width
+    schedule = get_scheduler(strategy).schedule(
+        specs, ScheduleBudget(power_mw=budget_mw, tam_width=width)
+    )
+    schedule.validate()
+    return schedule
 
 
 def _grade_existing(

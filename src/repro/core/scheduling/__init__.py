@@ -1,0 +1,79 @@
+"""Power-constrained SOC test scheduling with wrapper/TAM co-optimisation.
+
+The paper's introduction frames the noise problem partly through SOC
+test scheduling (its refs [5][6]): blocks are tested in parallel to cut
+test time, but the *sum* of their test power must stay under the chip's
+functional power threshold.  The related work goes further — wrapper/
+TAM co-optimisation schedules each block as a *rectangle* in the
+TAM-width × time plane, trading wrapper width against test time per
+block while packing under the power envelope.
+
+This package is that scheduler:
+
+* :mod:`~repro.core.scheduling.model` — tasks, candidate rectangles,
+  budgets, placements and :class:`TestSchedule` invariants;
+* :mod:`~repro.core.scheduling.strategies` — the :class:`Scheduler`
+  interface and registry with the greedy-session baseline and the
+  rectangle bin-packing strategy;
+* :mod:`~repro.core.scheduling.flowtasks` — bridges from designs and
+  flow results (wrapper partitioning for times,
+  :class:`~repro.power.static_bound.StaticScapBound` for powers);
+* :mod:`~repro.core.scheduling.synthetic` — generated SOC families for
+  the Pareto benchmarks.
+
+``schedule_block_tests`` (the original greedy entry point) and
+``tasks_from_flow`` keep their signatures as back-compat wrappers.
+"""
+
+from .model import (
+    AnyBlockTest,
+    BlockTestSpec,
+    BlockTestTask,
+    Placement,
+    ScheduleBudget,
+    ScheduleSession,
+    TamCandidate,
+    TestSchedule,
+    as_specs,
+)
+from .strategies import (
+    BinPackingScheduler,
+    GreedyScheduler,
+    Scheduler,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    schedule_block_tests,
+    schedule_tests,
+)
+from .flowtasks import (
+    specs_from_design,
+    specs_from_flow,
+    tasks_from_flow,
+)
+from .synthetic import budget_sweep, generate_block_specs
+
+__all__ = [
+    "AnyBlockTest",
+    "BinPackingScheduler",
+    "BlockTestSpec",
+    "BlockTestTask",
+    "GreedyScheduler",
+    "Placement",
+    "ScheduleBudget",
+    "ScheduleSession",
+    "Scheduler",
+    "TamCandidate",
+    "TestSchedule",
+    "as_specs",
+    "available_schedulers",
+    "budget_sweep",
+    "generate_block_specs",
+    "get_scheduler",
+    "register_scheduler",
+    "schedule_block_tests",
+    "schedule_tests",
+    "specs_from_design",
+    "specs_from_flow",
+    "tasks_from_flow",
+]

@@ -1,0 +1,99 @@
+"""Synthetic SOC families for scheduler benchmarks.
+
+``bench_scheduling.py`` needs SOCs of increasing block count with
+multiple wrapper-width candidates per block — far beyond the six-block
+Turbo Eagle.  :func:`generate_block_specs` produces such designs at the
+scheduling abstraction level (per-block candidate rectangles), fully
+deterministic in the seed, with the size distributions skewed the way
+real SOCs are: a few large power-dense cores and a tail of small
+peripherals (the Turbo Eagle's B5-vs-rest shape, extended to *n*
+blocks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import ConfigError
+from .model import BlockTestSpec, TamCandidate
+
+
+def generate_block_specs(
+    n_blocks: int,
+    seed: int = 2007,
+    max_width: int = 8,
+    n_widths: int = 3,
+    base_time_us: float = 100.0,
+    base_power_mw: float = 4.0,
+    width_power_factor: float = 0.15,
+) -> List[BlockTestSpec]:
+    """A deterministic *n_blocks*-block SOC as scheduling specs.
+
+    Per block: test time at width 1 is log-normally distributed around
+    *base_time_us* (a few big cores, many small ones), test power is
+    correlated with size, and the candidate widths are *n_widths*
+    powers of two up to *max_width*.  Wider wrappers divide the time
+    (``t(w) = t(1)/w``) and cost ``width_power_factor`` extra power per
+    doubling — shifting through more chains in parallel toggles more
+    cells per cycle.
+
+    Raises
+    ------
+    ConfigError
+        On a non-positive block count or width budget.
+    """
+    if n_blocks < 1:
+        raise ConfigError("need at least one block")
+    if max_width < 1 or n_widths < 1:
+        raise ConfigError("width options must be positive")
+    rng = np.random.default_rng(seed)
+    widths_all = [
+        w for w in (1, 2, 4, 8, 16, 32, 64) if w <= max_width
+    ][: max(1, n_widths)]
+    specs: List[BlockTestSpec] = []
+    for i in range(n_blocks):
+        size = float(rng.lognormal(mean=0.0, sigma=0.7))
+        time1 = base_time_us * size
+        power = base_power_mw * (0.4 + 0.6 * size) * float(
+            rng.uniform(0.8, 1.2)
+        )
+        n_opts = int(rng.integers(2, len(widths_all) + 1)) if len(
+            widths_all
+        ) > 1 else 1
+        widths = widths_all[:n_opts]
+        specs.append(
+            BlockTestSpec(
+                f"C{i}",
+                tuple(
+                    TamCandidate(
+                        width=w,
+                        time_us=time1 / w,
+                        power_mw=power
+                        * (1.0 + width_power_factor * float(np.log2(w))),
+                    )
+                    for w in widths
+                ),
+            )
+        )
+    return specs
+
+
+def budget_sweep(
+    specs: Sequence[BlockTestSpec],
+    fractions: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Power budgets sweeping serial-ish to fully-parallel regimes.
+
+    Each budget is a *fraction* of the all-blocks-at-once power sum,
+    floored at the largest single block's quietest power (below that no
+    schedule exists at all).
+    """
+    if not specs:
+        raise ConfigError("no specs to sweep")
+    if fractions is None:
+        fractions = (0.15, 0.25, 0.4, 0.6, 0.8, 1.0)
+    total = sum(max(c.power_mw for c in s.candidates) for s in specs)
+    floor = max(s.min_power_mw for s in specs)
+    return sorted({max(floor * 1.01, total * f) for f in fractions})

@@ -14,6 +14,12 @@ from .misr import Misr, capture_responses, signature_of_responses
 from .shift import ShiftActivity, shift_activity_summary, simulate_shift_in
 from .stil import read_stil, write_stil
 from .testpoints import insert_observation_points
+from .wrapper import (
+    WrapperPlan,
+    partition_wrapper_chains,
+    wrapper_plan,
+    wrapper_widths_for_block,
+)
 
 __all__ = [
     "AtSpeedProtocol",
@@ -36,4 +42,8 @@ __all__ = [
     "shift_activity_summary",
     "simulate_shift_in",
     "write_stil",
+    "WrapperPlan",
+    "partition_wrapper_chains",
+    "wrapper_plan",
+    "wrapper_widths_for_block",
 ]

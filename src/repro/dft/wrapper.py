@@ -1,0 +1,125 @@
+"""Test wrappers: block scan cells repartitioned into TAM-width chains.
+
+A block tested through a *w*-line TAM gets its scan cells regrouped
+into *w* balanced wrapper chains, one per TAM line; shifting then takes
+``ceil(cells / w)`` cycles per pattern instead of ``cells``.  This is
+the wrapper side of wrapper/TAM co-optimisation: the discrete width
+options and the ``t(w) ~ t(1)/w`` time model the scheduler trades over
+both come from here.
+
+Width options are derived from the design's scan structure: a block
+cannot usefully spread across more wrapper chains than it has scan
+cells, and the natural upper bound is the number of existing scan
+chains crossing the block (each chain is an independent shift path the
+wrapper can tap).  Options are the powers of two up to that bound,
+plus the bound itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, TYPE_CHECKING, Tuple
+
+from ..errors import ConfigError, ScanError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..soc.design import SocDesign
+
+
+@dataclass(frozen=True)
+class WrapperPlan:
+    """One block's wrapper configuration at a given TAM width."""
+
+    block: str
+    width: int
+    #: Wrapper chains as flop-index tuples, in TAM-line order.
+    chains: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def max_chain_length(self) -> int:
+        """Shift cycles per pattern at this width."""
+        return max((len(c) for c in self.chains), default=0)
+
+    @property
+    def n_cells(self) -> int:
+        return sum(len(c) for c in self.chains)
+
+
+def partition_wrapper_chains(
+    cells: Sequence[int], width: int
+) -> List[List[int]]:
+    """Split scan cells into *width* balanced wrapper chains.
+
+    Cells are dealt round-robin in the given order, so chain lengths
+    differ by at most one and the longest chain is ``ceil(n/width)`` —
+    the best achievable shift depth for equal-length cells.
+    """
+    if width < 1:
+        raise ConfigError("wrapper width must be >= 1")
+    if not cells:
+        raise ScanError("no scan cells to wrap")
+    chains: List[List[int]] = [[] for _ in range(min(width, len(cells)))]
+    for i, cell in enumerate(cells):
+        chains[i % len(chains)].append(cell)
+    return chains
+
+
+def wrapper_widths_for_block(
+    design: "SocDesign",
+    block: str,
+    max_width: Optional[int] = None,
+) -> List[int]:
+    """Discrete wrapper width options for *block*.
+
+    The ceiling is the number of scan chains crossing the block (capped
+    by *max_width* and by the block's cell count); the options are the
+    powers of two up to the ceiling, plus the ceiling itself.  Returns
+    ``[1]`` for blocks with scan cells on a single chain and ``[]`` for
+    blocks with no scan cells at all.
+    """
+    cells = design.flops_in_block(block)
+    scan_cells = [
+        fi for fi in cells if design.netlist.flops[fi].is_scan
+    ]
+    if not scan_cells:
+        return []
+    ceiling = len(design.chains_in_block(block))
+    ceiling = min(ceiling, len(scan_cells))
+    if max_width is not None:
+        ceiling = min(ceiling, max_width)
+    ceiling = max(1, ceiling)
+    widths = {w for w in (1, 2, 4, 8, 16, 32, 64) if w <= ceiling}
+    widths.add(ceiling)
+    return sorted(widths)
+
+
+def wrapper_plan(
+    design: "SocDesign", block: str, width: int
+) -> WrapperPlan:
+    """Build the *block*'s wrapper chains at *width* TAM lines.
+
+    Cells are taken in existing (chain, position) shift order, so the
+    partition is deterministic and reconstructible from the netlist's
+    scan metadata alone.
+    """
+    cells = [
+        fi
+        for fi in design.flops_in_block(block)
+        if design.netlist.flops[fi].is_scan
+    ]
+    if not cells:
+        raise ScanError(f"block {block!r} has no scan cells to wrap")
+
+    def shift_key(fi: int) -> Tuple[int, int, int]:
+        flop = design.netlist.flops[fi]
+        chain = flop.chain if flop.chain is not None else 1 << 30
+        pos = flop.chain_pos if flop.chain_pos is not None else 1 << 30
+        return (chain, pos, fi)
+
+    ordered = sorted(cells, key=shift_key)
+    chains = partition_wrapper_chains(ordered, width)
+    return WrapperPlan(
+        block=block,
+        width=len(chains),
+        chains=tuple(tuple(c) for c in chains),
+    )

@@ -43,7 +43,7 @@ simulation").
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -157,6 +157,102 @@ class StaticScapBound:
         for block in self.design.blocks():
             energy.setdefault(block, 0.0)
         return self._to_mw(energy, self.stw_floor_ns)
+
+    # ------------------------------------------------------------------
+    # vectorised many-seed-set API (SOC test scheduling's cost model)
+    # ------------------------------------------------------------------
+    def toggle_bounds_many(
+        self, seed_sets: Sequence[Set[int]]
+    ) -> np.ndarray:
+        """Per-net toggle bounds for many seed sets in one pass.
+
+        Row *j* equals ``toggle_bounds(seed_sets[j])``, but the
+        levelised propagation walks the gate list once with the seed
+        axis vectorised — scheduling thousands of blocks pays one gate
+        sweep, not one per block.
+        """
+        netlist = self.design.netlist
+        bound = np.zeros((len(seed_sets), netlist.n_nets), dtype=float)
+        for j, seeds in enumerate(seed_sets):
+            for fi in seeds:
+                bound[j, netlist.flops[fi].q] = 1.0
+        for gi in self._gate_order:
+            gate = netlist.gates[gi]
+            bound[:, gate.output] = bound[:, list(gate.inputs)].sum(axis=1)
+        return bound
+
+    def launch_flops_by_block(self) -> Dict[str, Set[int]]:
+        """Launch-capable flops of this domain, grouped by block."""
+        netlist = self.design.netlist
+        by_block: Dict[str, Set[int]] = {
+            b: set() for b in self.design.blocks()
+        }
+        for fi in self.launch_time_ns:
+            block = netlist.flops[fi].block
+            if block in by_block:
+                by_block[block].add(fi)
+        return by_block
+
+    def test_power_bounds_mw(self) -> Dict[str, float]:
+        """Chip-wide SCAP upper bound while testing each block (mW).
+
+        The scheduler's per-session cost model: when only block *b*'s
+        scan cells launch transitions (every other block held quiet by
+        fill-0), the chip-wide switched energy is bounded by the toggle
+        bound seeded from *b*'s launch flops — summed over *all* nets,
+        because *b*'s activity propagates into its neighbours.  The
+        window floor is the earliest launch event among *b*'s flops.
+        Blocks with no launch-capable flop in the domain bound to 0.0.
+
+        Computed for every block in one vectorised gate sweep, so
+        scheduling needs no simulation regardless of block count.
+        """
+        blocks = self.design.blocks()
+        by_block = self.launch_flops_by_block()
+        seed_sets = [by_block[b] for b in blocks]
+        bound = self.toggle_bounds_many(seed_sets)
+        energy_fj = bound @ self._energy_of_net
+        out: Dict[str, float] = {}
+        for j, block in enumerate(blocks):
+            seeds = seed_sets[j]
+            if not seeds:
+                out[block] = 0.0
+                continue
+            floor = min(self.launch_time_ns[fi] for fi in seeds)
+            out.update(
+                self._to_mw({block: float(energy_fj[j])}, floor)
+            )
+        return out
+
+    def block_bound_matrix(
+        self,
+    ) -> Tuple[List[str], np.ndarray]:
+        """Energy-attribution matrix for per-block test sessions (fJ).
+
+        Entry ``[i, j]`` bounds the switched energy *attributed to*
+        block ``blocks[j]`` while *testing* block ``blocks[i]`` — the
+        row sums are :meth:`test_power_bounds_mw`'s energies, the
+        off-diagonal mass is the collateral switching a session induces
+        in its neighbours.  One vectorised sweep for all blocks.
+        """
+        blocks = self.design.blocks()
+        by_block = self.launch_flops_by_block()
+        bound = self.toggle_bounds_many([by_block[b] for b in blocks])
+        col_of: Dict[str, int] = {b: j for j, b in enumerate(blocks)}
+        attribution = np.zeros(
+            (len(blocks), len(blocks)), dtype=float
+        )
+        weighted = bound * self._energy_of_net[np.newaxis, :]
+        owner_idx = np.array(
+            [
+                col_of.get(owner, -1) if owner is not None else -1
+                for owner in self._block_of_net
+            ],
+            dtype=int,
+        )
+        for j in range(len(blocks)):
+            attribution[:, j] = weighted[:, owner_idx == j].sum(axis=1)
+        return blocks, attribution
 
     # ------------------------------------------------------------------
     def pattern_upper_bounds_mw(self, v1: Dict[int, int]) -> Dict[str, float]:

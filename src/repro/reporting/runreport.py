@@ -63,6 +63,11 @@ class RunReport:
     #: profiler hotspots) from :meth:`repro.obs.Telemetry.snapshot`;
     #: None when the run used the null telemetry.
     telemetry: Optional[Dict[str, Any]] = None
+    #: SOC test-schedule digest (see
+    #: :meth:`repro.core.scheduling.TestSchedule.summary`) when the run
+    #: included a scheduling stage; an ``{"error": ...}`` dict when the
+    #: stage failed; None when no scheduling was requested.
+    schedule: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def completed_stages(self) -> List[str]:
@@ -128,6 +133,7 @@ class RunReport:
             "error": self.error,
             "drc": self.drc,
             "telemetry": self.telemetry,
+            "schedule": self.schedule,
         }
 
     def to_json(self, indent: int = 1) -> str:
@@ -155,6 +161,7 @@ class RunReport:
             error=data.get("error"),
             drc=data.get("drc"),
             telemetry=data.get("telemetry"),
+            schedule=data.get("schedule"),
         )
         for stage in data.get("stages", []):
             report.stages.append(

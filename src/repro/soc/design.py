@@ -84,6 +84,43 @@ class SocDesign:
             if f.block == block and "_enf" in f.name
         ]
 
+    # ------------------------------------------------------------------
+    # wrapper / TAM metadata
+    # ------------------------------------------------------------------
+    def chains_in_block(self, block: str) -> List[int]:
+        """Scan chains carrying at least one of the block's cells."""
+        if self.scan is None:
+            return []
+        found = {
+            self.scan.chain_of_flop[fi]
+            for fi in self.flops_in_block(block)
+            if fi in self.scan.chain_of_flop
+        }
+        return sorted(found)
+
+    @property
+    def tam_width(self) -> Optional[int]:
+        """The chip's TAM trunk width in lines.
+
+        Taken from the floorplan's TAM metadata when the generator
+        recorded it; otherwise the scan chain count (one TAM line per
+        chain — the widest configuration the scan structure supports).
+        ``None`` for designs without scan.
+        """
+        fp_width = getattr(self.floorplan, "tam_width", None)
+        if fp_width is not None:
+            return int(fp_width)
+        return self.scan.n_chains if self.scan is not None else None
+
+    def tam_width_options(self, block: str) -> List[int]:
+        """Discrete wrapper width candidates for *block* (see
+        :func:`repro.dft.wrapper.wrapper_widths_for_block`)."""
+        from ..dft.wrapper import wrapper_widths_for_block
+
+        return wrapper_widths_for_block(
+            self, block, max_width=self.tam_width
+        )
+
     def dominant_domain(self) -> str:
         """The clock domain owning the most scan flops (paper: clka)."""
         counts = {d: len(self.flops_in_domain(d)) for d in self.domains}

@@ -64,11 +64,18 @@ class Floorplan:
     """Chip outline plus named block regions."""
 
     def __init__(self, width: float, height: float,
-                 regions: Dict[str, BlockRegion]):
+                 regions: Dict[str, BlockRegion],
+                 tam_width: Optional[int] = None):
         if width <= 0 or height <= 0:
             raise ConfigError("chip dimensions must be positive")
+        if tam_width is not None and tam_width < 1:
+            raise ConfigError("TAM width must be >= 1")
         self.width = width
         self.height = height
+        #: Test Access Mechanism trunk width in lines; the scheduling
+        #: plane's height.  The SOC generator records the scan chain
+        #: count here (one line per chain).
+        self.tam_width = tam_width
         self.regions = dict(regions)
         for region in self.regions.values():
             if not (0 <= region.x0 and region.x1 <= width

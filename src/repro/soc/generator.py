@@ -192,6 +192,10 @@ def build_turbo_eagle(
         from ..dft.scan import insert_scan_chains
 
         design.scan = insert_scan_chains(design, n_chains=cfg.n_chains)
+        # TAM trunk metadata: one TAM line per scan chain — the widest
+        # wrapper configuration the scan structure supports, and the
+        # height of the scheduler's packing plane.
+        floorplan.tam_width = design.scan.n_chains
 
     netlist.freeze()
     return design

@@ -8,11 +8,23 @@ from hypothesis import strategies as st
 
 from repro import CaseStudy
 from repro.core import (
+    BlockTestSpec,
     BlockTestTask,
+    GreedyScheduler,
+    ScheduleBudget,
+    TamCandidate,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
     schedule_block_tests,
+    schedule_tests,
     tasks_from_flow,
 )
+from repro.core import TestSchedule as ScheduleClass
+from repro.core.scheduling import budget_sweep, generate_block_specs
+from repro.dft import partition_wrapper_chains, wrapper_plan
 from repro.errors import ConfigError
+from repro.soc import build_turbo_eagle
 
 
 def _tasks():
@@ -112,3 +124,235 @@ class TestTasksFromFlow:
         budget = sum(study.thresholds_mw.values())
         schedule = schedule_block_tests(tasks, power_budget_mw=budget)
         assert schedule.speedup >= 1.0
+
+
+# ----------------------------------------------------------------------
+# wrapper/TAM co-optimisation model
+# ----------------------------------------------------------------------
+class TestTamModel:
+    def test_from_base_width_time_tradeoff(self):
+        spec = BlockTestSpec.from_base("B1", 120.0, 3.0, [1, 2, 4])
+        by_width = {c.width: c for c in spec.candidates}
+        assert set(by_width) == {1, 2, 4}
+        assert by_width[2].time_us == pytest.approx(60.0)
+        assert by_width[4].time_us == pytest.approx(30.0)
+
+    def test_diagonal_tie_break_key(self):
+        tall = TamCandidate(4, 3.0, 1.0)
+        flat = TamCandidate(1, 3.0, 1.0)
+        assert tall.diagonal > flat.diagonal
+        assert tall.diagonal == pytest.approx((16 + 9.0) ** 0.5)
+
+    def test_duplicate_widths_rejected(self):
+        with pytest.raises(ConfigError):
+            BlockTestSpec(
+                "B1",
+                (TamCandidate(2, 1.0, 1.0), TamCandidate(2, 2.0, 1.0)),
+            )
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ConfigError):
+            BlockTestSpec("B1", ())
+
+    def test_task_is_width1_spec(self):
+        spec = BlockTestTask("B1", 10.0, 2.0).as_spec()
+        assert [c.width for c in spec.candidates] == [1]
+        assert spec.narrowest().time_us == 10.0
+
+
+# ----------------------------------------------------------------------
+# Scheduler protocol + registry
+# ----------------------------------------------------------------------
+class TestSchedulerRegistry:
+    def test_builtins_registered(self):
+        names = available_schedulers()
+        assert "greedy" in names and "binpack" in names
+
+    def test_unknown_strategy_named_in_error(self):
+        with pytest.raises(ConfigError, match="nosuch"):
+            get_scheduler("nosuch")
+
+    def test_custom_strategy_round_trip(self):
+        class Custom:
+            name = "custom-test"
+
+            def schedule(self, tasks, budget):
+                return GreedyScheduler().schedule(tasks, budget)
+
+        register_scheduler("custom-test", Custom)
+        try:
+            schedule = get_scheduler("custom-test").schedule(
+                _tasks(), ScheduleBudget(power_mw=10.0)
+            )
+            assert sorted(schedule.blocks()) == sorted(
+                t.block for t in _tasks()
+            )
+            with pytest.raises(ConfigError):
+                register_scheduler("custom-test", Custom)
+        finally:
+            from repro.core.scheduling import strategies
+
+            strategies._REGISTRY.pop("custom-test", None)
+
+    def test_schedule_tests_dispatches(self):
+        budget = ScheduleBudget(power_mw=10.0)
+        greedy = schedule_tests(_tasks(), budget, strategy="greedy")
+        packed = schedule_tests(_tasks(), budget, strategy="binpack")
+        assert greedy.strategy == "greedy"
+        assert packed.strategy == "binpack"
+        assert packed.makespan_us <= greedy.makespan_us + 1e-9
+
+
+# ----------------------------------------------------------------------
+# edge-case contracts
+# ----------------------------------------------------------------------
+class TestEdgeContracts:
+    def test_zero_tasks_raise_config_error(self):
+        with pytest.raises(ConfigError, match="no tasks"):
+            schedule_block_tests([], power_budget_mw=5.0)
+        with pytest.raises(ConfigError, match="no tasks"):
+            schedule_tests([], ScheduleBudget(power_mw=5.0))
+
+    def test_empty_schedule_speedup_raises_not_zero_division(self):
+        empty = ScheduleClass(placements=[], power_budget_mw=5.0)
+        with pytest.raises(ConfigError, match="speedup is undefined"):
+            empty.speedup
+
+    def test_budget_below_largest_block_names_it(self):
+        with pytest.raises(ConfigError, match="'B5'"):
+            schedule_block_tests(_tasks(), power_budget_mw=5.0)
+
+    def test_tam_too_narrow_names_block(self):
+        specs = [
+            BlockTestSpec.from_base("B1", 10.0, 1.0, [1]),
+            BlockTestSpec.from_base("WIDE", 10.0, 1.0, [4, 8]),
+        ]
+        with pytest.raises(ConfigError, match="'WIDE'"):
+            schedule_tests(
+                specs, ScheduleBudget(power_mw=10.0, tam_width=2)
+            )
+
+
+# ----------------------------------------------------------------------
+# bin-packing properties (hypothesis)
+# ----------------------------------------------------------------------
+def _random_specs(draw_times, draw_powers, draw_widths):
+    specs = []
+    for i, t in enumerate(draw_times):
+        widths = sorted(set(draw_widths[i]))
+        specs.append(
+            BlockTestSpec.from_base(
+                f"X{i}", t, draw_powers[i], widths
+            )
+        )
+    return specs
+
+
+class TestBinPackingProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=1.0, max_value=400.0),
+            min_size=2, max_size=8,
+        ),
+        powers=st.lists(
+            st.floats(min_value=0.1, max_value=4.0),
+            min_size=8, max_size=8,
+        ),
+        widths=st.lists(
+            st.lists(
+                st.sampled_from([1, 2, 4, 8]), min_size=1, max_size=3
+            ),
+            min_size=8, max_size=8,
+        ),
+        budget_mw=st.floats(min_value=4.0, max_value=12.0),
+        tam_width=st.sampled_from([8, 12, 16, None]),
+    )
+    def test_envelope_and_tam_always_respected(
+        self, times, powers, widths, budget_mw, tam_width
+    ):
+        # Force width 1 into every candidate list so the TAM limit can
+        # never make a block infeasible on its own.
+        specs = _random_specs(
+            times, powers, [w + [1] for w in widths]
+        )
+        budget = ScheduleBudget(power_mw=budget_mw, tam_width=tam_width)
+        greedy = schedule_tests(specs, budget, strategy="greedy")
+        packed = schedule_tests(specs, budget, strategy="binpack")
+        for schedule in (greedy, packed):
+            schedule.validate()
+            assert sorted(schedule.blocks()) == sorted(
+                s.block for s in specs
+            )
+            for _t, power in schedule.power_profile():
+                assert power <= budget_mw + 1e-9
+            if tam_width is not None:
+                for _t, used in schedule.tam_profile():
+                    assert used <= tam_width
+        # The portfolio guarantee: packing never loses to greedy.
+        assert packed.makespan_us <= greedy.makespan_us + 1e-9
+
+    def test_packing_beats_greedy_on_multi_width_design(self):
+        # Deterministic multi-width SOC where rectangle packing must
+        # find a strictly better makespan than greedy sessions.
+        specs = generate_block_specs(8, seed=2007)
+        budget = ScheduleBudget(power_mw=15.0, tam_width=16)
+        greedy = schedule_tests(specs, budget, strategy="greedy")
+        packed = schedule_tests(specs, budget, strategy="binpack")
+        packed.validate()
+        assert packed.makespan_us < greedy.makespan_us
+
+
+# ----------------------------------------------------------------------
+# wrapper partitioning
+# ----------------------------------------------------------------------
+class TestWrapperPartitioning:
+    def test_round_robin_is_balanced(self):
+        chains = partition_wrapper_chains(list(range(10)), 4)
+        lengths = sorted(len(c) for c in chains)
+        assert lengths == [2, 2, 3, 3]
+        assert sorted(x for c in chains for x in c) == list(range(10))
+
+    def test_width_beyond_cells_collapses(self):
+        chains = partition_wrapper_chains([7, 8], 5)
+        assert len(chains) == 2
+
+    def test_no_cells_raises(self):
+        from repro.errors import ScanError
+
+        with pytest.raises(ScanError):
+            partition_wrapper_chains([], 2)
+
+    def test_design_width_options_and_plan(self):
+        design = build_turbo_eagle("tiny", seed=2007)
+        for block in design.blocks():
+            options = design.tam_width_options(block)
+            assert options, f"{block} has no width options"
+            assert options == sorted(set(options))
+            ceiling = max(options)
+            plan = wrapper_plan(design, block, ceiling)
+            assert plan.n_cells == len(design.flops_in_block(block))
+            depth1 = wrapper_plan(design, block, 1).max_chain_length
+            assert plan.max_chain_length <= depth1
+
+
+# ----------------------------------------------------------------------
+# synthetic SOC families
+# ----------------------------------------------------------------------
+class TestSyntheticSocs:
+    def test_deterministic(self):
+        a = generate_block_specs(12, seed=42)
+        b = generate_block_specs(12, seed=42)
+        assert a == b
+        assert len(a) == 12
+
+    def test_budget_sweep_always_feasible(self):
+        specs = generate_block_specs(10, seed=7)
+        for budget_mw in budget_sweep(specs):
+            schedule = schedule_tests(
+                specs, ScheduleBudget(power_mw=budget_mw, tam_width=16)
+            )
+            schedule.validate()
+            assert sorted(schedule.blocks()) == sorted(
+                s.block for s in specs
+            )
