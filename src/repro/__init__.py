@@ -38,6 +38,14 @@ from .perf import (
 )
 from .power import PatternPowerProfile, ScapCalculator
 from .reporting import CheckpointStore, RunReport
+from .service import (
+    JobSpec,
+    JobStore,
+    ServiceClient,
+    ServiceConfig,
+    ServiceSupervisor,
+    ServiceWorker,
+)
 from .soc import SocDesign, build_turbo_eagle
 
 __version__ = "1.0.0"
@@ -48,6 +56,8 @@ __all__ = [
     "ConventionalFlow",
     "DrcReport",
     "ElectricalEnv",
+    "JobSpec",
+    "JobStore",
     "K_VOLT",
     "NoiseAwarePatternGenerator",
     "PatternPowerProfile",
@@ -55,6 +65,10 @@ __all__ = [
     "RetryPolicy",
     "RunReport",
     "ScapCalculator",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceSupervisor",
+    "ServiceWorker",
     "SocDesign",
     "VDD_NOMINAL",
     "Violation",

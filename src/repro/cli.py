@@ -14,6 +14,9 @@ Commands
 ``flow``        run the staged noise-tolerant flow with checkpoint/resume,
 ``drc``         static design-rule check / testability lint (no simulation),
 ``schedule``    power/TAM-constrained SOC test schedule (greedy vs binpack),
+``serve``       run the sharded ATPG job service over a store directory,
+``submit``      enqueue one flow job (optionally ``--wait`` for it),
+``jobs``        list a store's jobs and their shard progress,
 ``obs``         inspect telemetry artifacts (traces, reports).
 
 Every command accepts ``--scale`` (tiny/small/bench/full), ``--seed``
@@ -28,6 +31,7 @@ they write, and ``repro obs report run.json`` digests a saved
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import CaseStudy, RunContext
@@ -177,6 +181,30 @@ def cmd_floorplan(args) -> int:
     return 0
 
 
+def _load_run_report(path: str):
+    """Load a RunReport JSON for the CLI, or ``None`` after a one-line
+    error on stderr.
+
+    A missing or corrupt report file is an operator mistake (wrong
+    path, interrupted copy), not a bug — it gets a clean diagnostic
+    and exit code 2, never a traceback.
+    """
+    import json
+
+    from .reporting import RunReport
+
+    try:
+        return RunReport.load(path)
+    except FileNotFoundError:
+        print(f"error: no run report at {path!r}", file=sys.stderr)
+    except (OSError, json.JSONDecodeError, ValueError, TypeError) as exc:
+        print(
+            f"error: unreadable run report {path!r}: {exc}",
+            file=sys.stderr,
+        )
+    return None
+
+
 def _flow_telemetry(args):
     """Build the run's telemetry from the flow's obs flags (or None)."""
     from .obs import Telemetry
@@ -194,9 +222,17 @@ def _flow_telemetry(args):
 
 def cmd_flow(args) -> int:
     from .core import run_noise_tolerant_flow
-    from .reporting import RUN_FAILED, RunReport
+    from .reporting import RUN_FAILED
     from .soc import build_turbo_eagle
 
+    if args.report:
+        parent = os.path.dirname(os.path.abspath(args.report))
+        if not os.path.isdir(parent):
+            print(
+                f"error: report directory does not exist: {parent!r}",
+                file=sys.stderr,
+            )
+            return 2
     design = build_turbo_eagle(scale=args.scale, seed=args.seed)
     telemetry = _flow_telemetry(args)
     result, report = run_noise_tolerant_flow(
@@ -252,7 +288,9 @@ def cmd_flow(args) -> int:
         print(f"wrote run report to {args.report}")
         # Round-trip through RunReport.load so what is printed is what
         # a later `repro obs report` sees, not in-memory state.
-        loaded = RunReport.load(args.report)
+        loaded = _load_run_report(args.report)
+        if loaded is None:
+            return 2
         print(format_table(
             loaded.stage_times(),
             columns=["stage", "status", "elapsed_s", "patterns"],
@@ -383,9 +421,9 @@ def cmd_obs(args) -> int:
     )
 
     if args.action == "report":
-        from .reporting import RunReport
-
-        report = RunReport.load(args.input)
+        report = _load_run_report(args.input)
+        if report is None:
+            return 2
         print(format_table(
             report.stage_times(),
             columns=["stage", "status", "elapsed_s", "patterns"],
@@ -433,6 +471,123 @@ def cmd_obs(args) -> int:
               file=sys.stderr)
         return 2
     print(f"OK: {len(events)} spans, tree is well-nested")
+    return 0
+
+
+def _service_store(args):
+    """Open (or create) the job store named by ``args.store``,
+    applying any config overrides the command supplies."""
+    from .service import JobStore, ServiceConfig
+
+    overrides = {
+        "max_queue_depth": getattr(args, "queue_depth", None),
+        "lease_ttl_s": getattr(args, "lease_ttl", None),
+        "max_shard_attempts": getattr(args, "max_attempts", None),
+    }
+    set_overrides = {k: v for k, v in overrides.items() if v is not None}
+    config = ServiceConfig(**set_overrides) if set_overrides else None
+    return JobStore(args.store, config=config)
+
+
+def cmd_serve(args) -> int:
+    import time
+
+    from .errors import ServiceError
+    from .service import ServiceSupervisor
+
+    store = _service_store(args)
+    supervisor = ServiceSupervisor(
+        store,
+        n_workers=args.workers_count,
+        inline_fallback=not args.no_inline,
+    )
+    mode = (
+        f"{args.workers_count} worker(s)"
+        if args.workers_count
+        else "in-process (degraded) execution"
+    )
+    print(f"serving job store {store.root} with {mode}")
+    with supervisor:
+        try:
+            if args.drain:
+                supervisor.run_until_drained(timeout_s=args.timeout)
+                print("queue drained")
+            else:
+                while True:
+                    supervisor.tick()
+                    time.sleep(args.poll)
+        except KeyboardInterrupt:
+            print("stopping workers")
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .errors import ServiceBusyError, ServiceError
+    from .service import JobSpec, ServiceClient
+
+    client = ServiceClient(_service_store(args))
+    spec = JobSpec(
+        scale=args.scale,
+        seed=args.seed,
+        max_patterns=args.max_patterns,
+        telemetry=args.obs,
+    )
+    try:
+        job_id = client.submit(spec)
+    except ServiceBusyError as exc:
+        print(
+            f"busy: {exc} — retry when the queue drains",
+            file=sys.stderr,
+        )
+        return 2
+    print(job_id)
+    if not args.wait:
+        return 0
+    try:
+        job = client.wait(job_id, timeout_s=args.timeout)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"job {job_id}: {job.state}")
+    if job.state == "done":
+        result = client.result(job_id)
+        print(
+            f"{result['n_patterns']} patterns, "
+            f"test coverage {result['test_coverage']:.1%}"
+        )
+        return 0
+    if job.error:
+        print(f"error: {job.error}", file=sys.stderr)
+    return 3
+
+
+def cmd_jobs(args) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(_service_store(args))
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    rows = []
+    for job in jobs:
+        done = sum(1 for s in job.shards if s.state == "done")
+        attempts = sum(s.attempts for s in job.shards)
+        rows.append({
+            "job": job.id,
+            "state": job.state,
+            "shards": f"{done}/{len(job.shards)}",
+            "attempts": attempts,
+            "error": (job.error or "")[:48],
+        })
+    print(format_table(
+        rows,
+        columns=["job", "state", "shards", "attempts", "error"],
+        title=f"jobs in {client.store.root}:",
+    ))
     return 0
 
 
@@ -562,6 +717,64 @@ def main(argv=None) -> int:
     p.add_argument("--json", dest="json_out", metavar="FILE",
                    help="write the schedule rows as JSON")
     p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the ATPG job service over a store directory",
+    )
+    p.add_argument("store", help="job store root directory")
+    p.add_argument("--workers", dest="workers_count", type=int, default=2,
+                   metavar="N",
+                   help="worker processes to supervise; 0 runs jobs "
+                        "in-process serially (default: 2)")
+    p.add_argument("--drain", action="store_true",
+                   help="exit once every job is terminal instead of "
+                        "serving forever")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="give up draining after S seconds (with --drain)")
+    p.add_argument("--poll", type=float, default=0.5, metavar="S",
+                   help="supervision tick interval (default: 0.5)")
+    p.add_argument("--no-inline", action="store_true",
+                   help="never execute shards in the supervisor process "
+                        "even when every worker is dead")
+    p.add_argument("--queue-depth", type=int, metavar="N",
+                   help="override the store's max queue depth")
+    p.add_argument("--lease-ttl", type=float, metavar="S",
+                   help="override the store's lease TTL in seconds")
+    p.add_argument("--max-attempts", type=int, metavar="N",
+                   help="override the per-shard attempt budget")
+    p.add_argument("--log-level", default="warning",
+                   choices=list(LOG_LEVELS))
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one flow job to a job store"
+    )
+    p.add_argument("store", help="job store root directory")
+    p.add_argument("--scale", default="tiny",
+                   choices=["tiny", "small", "bench", "full"])
+    p.add_argument("--seed", type=int, default=2007)
+    p.add_argument("--max-patterns", type=int,
+                   help="total pattern budget across stages")
+    p.add_argument("--obs", action="store_true",
+                   help="persist per-shard trace/metrics artifacts in "
+                        "the job directory")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal (running its "
+                        "shards in-process if no worker is alive)")
+    p.add_argument("--timeout", type=float, default=None, metavar="S",
+                   help="give up waiting after S seconds (with --wait)")
+    p.add_argument("--log-level", default="warning",
+                   choices=list(LOG_LEVELS))
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser(
+        "jobs", help="list the jobs (and shard progress) in a store"
+    )
+    p.add_argument("store", help="job store root directory")
+    p.add_argument("--log-level", default="warning",
+                   choices=list(LOG_LEVELS))
+    p.set_defaults(fn=cmd_jobs)
 
     p = sub.add_parser(
         "obs", help="inspect telemetry artifacts (traces, run reports)"

@@ -83,6 +83,38 @@ class RunContext:
         """A copy with *telemetry* (the deprecation-shim helper)."""
         return replace(self, telemetry=telemetry)
 
+    def overriding(self, other: "RunContext") -> "RunContext":
+        """Compose two contexts: *other*'s explicit fields win.
+
+        Fields *other* leaves as "inherit" keep this context's value,
+        so a caller can layer a partial override (say, the service
+        store's retry policy) over a snapshot of the ambient session
+        without losing the rest::
+
+            ctx = current_run_context().overriding(
+                RunContext(execution=store_policy)
+            )
+        """
+        return RunContext(
+            telemetry=(
+                other.telemetry
+                if other.telemetry is not None else self.telemetry
+            ),
+            execution=(
+                other.execution
+                if other.execution is not None else self.execution
+            ),
+            dispatch=(
+                other.dispatch
+                if other.dispatch is not None else self.dispatch
+            ),
+            kernel_cache=(
+                self.kernel_cache
+                if isinstance(other.kernel_cache, _InheritCache)
+                else other.kernel_cache
+            ),
+        )
+
     def is_default(self) -> bool:
         """True when every field inherits the ambient value."""
         return (

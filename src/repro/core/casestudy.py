@@ -203,8 +203,12 @@ class CaseStudy:
         if "conventional" not in self._flows:
             self._drc_gate()
             key = self._stage_key("flow", "conventional", max_patterns)
-            if self._checkpoint is not None and self._checkpoint.has(key):
-                self._flows["conventional"] = self._checkpoint.load(key)
+            cached = (
+                self._checkpoint.try_load(key)
+                if self._checkpoint is not None else None
+            )
+            if cached is not None:
+                self._flows["conventional"] = cached
             else:
                 flow = ConventionalFlow(
                     self.design,
@@ -229,8 +233,12 @@ class CaseStudy:
         if "staged" not in self._flows:
             self._drc_gate()
             key = self._stage_key("flow", "staged", max_patterns)
-            if self._checkpoint is not None and self._checkpoint.has(key):
-                self._flows["staged"] = self._checkpoint.load(key)
+            cached = (
+                self._checkpoint.try_load(key)
+                if self._checkpoint is not None else None
+            )
+            if cached is not None:
+                self._flows["staged"] = cached
             else:
                 flow = NoiseAwarePatternGenerator(
                     self.design,
@@ -268,8 +276,12 @@ class CaseStudy:
                 else self.staged()
             )
             key = self._stage_key("validation", flow_name)
-            if self._checkpoint is not None and self._checkpoint.has(key):
-                self._validations[flow_name] = self._checkpoint.load(key)
+            cached = (
+                self._checkpoint.try_load(key)
+                if self._checkpoint is not None else None
+            )
+            if cached is not None:
+                self._validations[flow_name] = cached
             else:
                 with self._tel_scope():
                     report = validate_pattern_set(

@@ -49,6 +49,24 @@ STAGE_PLAN_TURBO_EAGLE: Tuple[Tuple[str, ...], ...] = (
     ("B5",),
 )
 
+def stage_key(index: int, blocks: Sequence[str]) -> str:
+    """Stable stage identifier used as the checkpoint (and shard) key."""
+    return f"stage{index}_{'+'.join(blocks)}"
+
+
+def flow_stage_names(
+    stage_plan: Sequence[Sequence[str]] = STAGE_PLAN_TURBO_EAGLE,
+) -> List[str]:
+    """The stage/checkpoint keys a staged flow over *stage_plan* uses.
+
+    This is the shard-extraction hook for :mod:`repro.service`: each
+    name is one independently schedulable unit of the flow, and because
+    the names are also the :class:`CheckpointStore` keys, a shard
+    executed by any process resumes its predecessors bit-identically.
+    """
+    return [stage_key(i, tuple(s)) for i, s in enumerate(stage_plan)]
+
+
 #: DRC families the flow gate runs: everything static and cheap.  The
 #: power family needs thresholds (grid calibration) and never gates —
 #: it is available via ``CaseStudy.drc_report()`` and ``repro drc``.
@@ -235,7 +253,7 @@ class NoiseAwarePatternGenerator:
 
     def stage_name(self, index: int) -> str:
         """Stable stage identifier (also the checkpoint key)."""
-        return f"stage{index}_{'+'.join(self.stage_plan[index])}"
+        return stage_key(index, self.stage_plan[index])
 
     def run(
         self,
@@ -277,8 +295,10 @@ class NoiseAwarePatternGenerator:
                         )
                 break
 
-            if checkpoint is not None and checkpoint.has(name):
-                payload = checkpoint.load(name)
+            payload = (
+                checkpoint.try_load(name) if checkpoint is not None else None
+            )
+            if payload is not None:
                 tel.count("flow.stages_resumed")
                 tel.log.info("stage %s loaded from checkpoint", name)
                 for pattern in payload["patterns"]:

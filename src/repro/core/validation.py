@@ -164,8 +164,8 @@ def _profile_with_checkpoint(
             calculator._cache_context + (start, stop),
         )
         key = f"{key_prefix}_rows{start}-{stop}_{digest[:12]}"
-        if checkpoint.has(key):
-            part = checkpoint.load(key)
+        part = checkpoint.try_load(key)
+        if part is not None:
             current_telemetry().count("flow.checkpoint_resumes")
         else:
             part = calculator.profile_patterns(sub, n_workers=n_workers)

@@ -118,3 +118,31 @@ class TaskTimeoutError(ExecutionError):
 
 class CheckpointError(ReproError):
     """A checkpoint store is unreadable or inconsistent with the run."""
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the ATPG job service layer."""
+
+
+class ServiceBusyError(ServiceError):
+    """The job queue is at its depth limit; the submission was refused.
+
+    Back-pressure is explicit: a submission that cannot be accepted is
+    *rejected loudly* (carrying ``depth`` and ``limit``), never dropped
+    silently.  Callers retry later or shed load upstream.
+    """
+
+    def __init__(self, message: str, *, depth: "int | None" = None,
+                 limit: "int | None" = None):
+        super().__init__(message)
+        self.depth = depth
+        self.limit = limit
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in the store."""
+
+
+class LeaseLostError(ServiceError):
+    """A worker's lease on a shard expired (or was fenced off) while it
+    was still working; its result must be discarded, not committed."""

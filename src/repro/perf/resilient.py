@@ -69,6 +69,28 @@ from ..obs import current_telemetry, worker_event
 from . import chaos as _chaos
 
 
+def backoff_delay_s(
+    base_s: float,
+    factor: float,
+    max_s: float,
+    jitter: float,
+    seed: int,
+    index: int,
+    attempt: int,
+) -> float:
+    """Exponential backoff with deterministic jitter, shared math.
+
+    Delay before retry *attempt* (0-based) of work unit *index*:
+    ``base * factor**attempt`` capped at *max_s*, plus up to
+    ``jitter`` fraction extra derived from ``(seed, index, attempt)``
+    so every layer that backs off — chunk retries here, shard retries
+    in :mod:`repro.service` — is reproducible run to run.
+    """
+    base = min(max_s, base_s * (factor ** attempt))
+    rng = random.Random((seed * 1_000_003) ^ (index * 7_919 + attempt))
+    return base * (1.0 + jitter * rng.random())
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Knobs of the recovery ladder.  Immutable; share freely."""
@@ -96,14 +118,10 @@ class RetryPolicy:
 
     def backoff_s(self, chunk_index: int, attempt: int) -> float:
         """Deterministic backoff before retrying *attempt* (0-based)."""
-        base = min(
-            self.backoff_max_s,
-            self.backoff_base_s * (self.backoff_factor ** attempt),
+        return backoff_delay_s(
+            self.backoff_base_s, self.backoff_factor, self.backoff_max_s,
+            self.jitter, self.seed, chunk_index, attempt,
         )
-        rng = random.Random(
-            (self.seed * 1_000_003) ^ (chunk_index * 7_919 + attempt)
-        )
-        return base * (1.0 + self.jitter * rng.random())
 
 
 #: Module default; override per call or via :func:`execution_policy`.

@@ -143,6 +143,11 @@ class CheckpointStore:
         return dict(entry.get("meta") or {})
 
     def load(self, key: str) -> Any:
+        """Load one stage; a missing *or unreadable* stage raises.
+
+        Prefer :meth:`try_load` in flows: a truncated payload there is
+        "stage absent — recompute", not a hard failure.
+        """
         entry = self._manifest["stages"].get(key)
         if entry is None:
             raise CheckpointError(f"no checkpoint for stage {key!r}")
@@ -150,13 +155,42 @@ class CheckpointStore:
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError) as exc:
             raise CheckpointError(
                 f"corrupt checkpoint payload for stage {key!r} "
                 f"({path!r}): {exc}"
             ) from exc
         self.loads += 1
         return payload
+
+    def try_load(self, key: str) -> Any:
+        """Load one stage, or ``None`` when it must be recomputed.
+
+        A stage that was never saved returns ``None`` silently.  A
+        stage whose payload is truncated or otherwise corrupt (a crash
+        mid-write on a filesystem without atomic rename, manual
+        tampering, a partial copy) is *treated as absent*: a warning is
+        logged, the stale manifest entry is discarded so later runs do
+        not trip over it again, and ``None`` is returned so the caller
+        recomputes the stage instead of dying on resume.
+
+        ``None`` is therefore reserved: stage payloads themselves must
+        not be ``None`` (the flows never save one).
+        """
+        if not self.has(key):
+            return None
+        try:
+            return self.load(key)
+        except CheckpointError as exc:
+            warnings.warn(
+                f"checkpoint stage {key!r} is unreadable and will be "
+                f"recomputed: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.discard(key)
+            return None
 
     def save(
         self, key: str, payload: Any, meta: Optional[Dict[str, Any]] = None

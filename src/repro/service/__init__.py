@@ -1,0 +1,58 @@
+"""ATPG-as-a-service: a durable, sharded job backend for the flow.
+
+``repro.service`` turns :func:`repro.core.run_noise_tolerant_flow`
+into submit/poll/fetch jobs that survive worker crashes, hangs and
+restarts:
+
+* :class:`JobStore` — crash-safe, file-backed job/shard state machine
+  (``queued → leased → running → done | failed | dead``) with
+  explicit back-pressure;
+* :class:`Lease` / :class:`LeaseHeartbeat` — expiring, fenced shard
+  ownership; dead or hung workers forfeit their shard after one TTL;
+* :class:`ServiceWorker` — claims shards (= flow stages keyed by the
+  flow's checkpoint keys) and resumes predecessors' work
+  bit-identically from the job's checkpoint store;
+* :class:`ServiceSupervisor` — keeps a worker fleet alive, respawns
+  crashes, and degrades to in-process serial execution when the fleet
+  is gone;
+* :class:`ServiceClient` — the submit/poll/fetch front-end.
+
+CLI: ``repro serve`` / ``repro submit`` / ``repro jobs``.
+"""
+
+from .client import ServiceClient
+from .jobstore import (
+    JOB_DEAD,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    ServiceConfig,
+    ShardRecord,
+)
+from .lease import Lease, LeaseHeartbeat
+from .supervisor import ServiceSupervisor
+from .worker import ServiceWorker, result_payload, run_shard_flow
+
+__all__ = [
+    "JOB_DEAD",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JobRecord",
+    "JobSpec",
+    "JobStore",
+    "Lease",
+    "LeaseHeartbeat",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceSupervisor",
+    "ServiceWorker",
+    "ShardRecord",
+    "result_payload",
+    "run_shard_flow",
+]

@@ -1,0 +1,12 @@
+"""Subprocess entry point: ``python -m repro.service <store> [...]``.
+
+Runs a :class:`~repro.service.worker.ServiceWorker` loop.  This lives
+in ``__main__`` (rather than ``-m repro.service.worker``) so runpy
+does not re-execute a module the package ``__init__`` already
+imported.
+"""
+
+from .worker import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

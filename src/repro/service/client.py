@@ -1,0 +1,118 @@
+"""Client API of the ATPG job service: submit, poll, fetch.
+
+:class:`ServiceClient` is the only interface callers need::
+
+    client = ServiceClient("/path/to/store")
+    job_id = client.submit(JobSpec(scale="tiny"))
+    job = client.wait(job_id, timeout_s=600)
+    patterns = client.result(job_id)["matrix"]
+
+There is no server socket: the "service" is the durable
+:class:`~repro.service.jobstore.JobStore` directory, and clients,
+workers and supervisors coordinate purely through its fenced,
+crash-safe records.  That keeps the front-end honest about the two
+contracts the service makes:
+
+* **Back-pressure** — :meth:`submit` surfaces the store's
+  :class:`~repro.errors.ServiceBusyError` when the queue is at depth;
+  nothing is queued silently past the limit, nothing is dropped.
+* **Graceful degradation** — :meth:`wait` (with the default
+  ``inline_fallback=True``) notices when no worker is alive and
+  executes the job's shards itself, serially, through the exact worker
+  code path.  A submitted job completes even on a machine where no
+  worker or supervisor was ever started.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Union
+
+from ..errors import ServiceError
+from ..reporting.runreport import RunReport
+from .jobstore import JobRecord, JobSpec, JobStore
+from .worker import ServiceWorker
+
+
+class ServiceClient:
+    """Submit/poll/fetch front-end over one job store."""
+
+    def __init__(self, store: Union[JobStore, str]) -> None:
+        self.store = store if isinstance(store, JobStore) else JobStore(store)
+        self._inline_worker: Optional[ServiceWorker] = None
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: Optional[JobSpec] = None, **kwargs: Any) -> str:
+        """Enqueue one job; returns its id.
+
+        Raises :class:`~repro.errors.ServiceBusyError` at the queue
+        depth limit — callers are expected to back off and retry, not
+        to assume the job was taken.
+        """
+        if spec is None:
+            spec = JobSpec(**kwargs)
+        elif kwargs:
+            raise ServiceError(
+                "pass either a JobSpec or keyword fields, not both"
+            )
+        return self.store.submit(spec).id
+
+    def status(self, job_id: str) -> JobRecord:
+        return self.store.get(job_id)
+
+    def jobs(self) -> List[JobRecord]:
+        return self.store.list_jobs()
+
+    # ------------------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: Optional[float] = None,
+        poll_s: float = 0.2,
+        inline_fallback: bool = True,
+    ) -> JobRecord:
+        """Block until the job is terminal; returns its final record.
+
+        While waiting the client reaps expired leases (so a dead
+        worker's shard is reclaimed even with no supervisor running)
+        and, when ``inline_fallback`` and no live worker is registered,
+        runs the pending shards itself.  Raises
+        :class:`~repro.errors.ServiceError` on timeout — the job keeps
+        whatever progress it made and can be waited on again.
+        """
+        deadline = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            job = self.store.get(job_id)
+            if job.terminal:
+                return job
+            self.store.reap_expired()
+            if inline_fallback and not self.store.alive_workers():
+                if self._worker().run_once():
+                    continue
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout_s}s waiting for job "
+                    f"{job_id} (state: {job.state})"
+                )
+            time.sleep(poll_s)
+
+    def _worker(self) -> ServiceWorker:
+        if self._inline_worker is None:
+            self._inline_worker = ServiceWorker(
+                self.store, worker_id="client-inline"
+            )
+        return self._inline_worker
+
+    # ------------------------------------------------------------------
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's pattern artefacts (see
+        :func:`repro.service.worker.result_payload`)."""
+        return self.store.load_result(job_id)
+
+    def report(self, job_id: str) -> Optional[RunReport]:
+        """The job's RunReport: the flow's own on success, the
+        synthesized failure report (log intact) on ``failed``/``dead``,
+        ``None`` while still running."""
+        return self.store.load_report(job_id)

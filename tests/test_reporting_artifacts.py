@@ -128,6 +128,31 @@ class TestCheckpointStore:
         with pytest.raises(CheckpointError):
             store.load("nope")
 
+    def test_try_load_treats_truncated_payload_as_absent(self, tmp_path):
+        """A partially-written stage file means "recompute", not death.
+
+        The payload is truncated mid-pickle (a crash on a filesystem
+        without atomic rename); ``try_load`` warns, drops the stale
+        manifest entry, and returns None so the flow recomputes.
+        """
+        store = CheckpointStore(str(tmp_path), "fp")
+        store.save("s", {"big": list(range(100))})
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        payload = tmp_path / manifest["stages"]["s"]["file"]
+        payload.write_bytes(payload.read_bytes()[:10])  # truncate
+        with pytest.warns(RuntimeWarning, match="recomputed"):
+            assert store.try_load("s") is None
+        # the broken entry was discarded: later calls are silent misses
+        assert not store.has("s")
+        assert store.try_load("s") is None
+        # and the stage can simply be saved again
+        store.save("s", {"big": [1]})
+        assert store.try_load("s") == {"big": [1]}
+
+    def test_try_load_missing_stage_is_silent_none(self, tmp_path):
+        store = CheckpointStore(str(tmp_path), "fp")
+        assert store.try_load("never-saved") is None
+
     def test_filesystem_hostile_keys(self, tmp_path):
         store = CheckpointStore(str(tmp_path), "fp")
         key = "stage/with:odd*chars and spaces" + "x" * 200

@@ -1,0 +1,169 @@
+"""End-to-end chaos tests: the service survives killed and hung workers.
+
+These run real worker *subprocesses* over a real tiny flow and break
+them mid-job:
+
+* SIGKILL a worker while it is executing a shard — the supervisor
+  respawns, the lease expires, the replacement resumes from the job's
+  checkpoints, and the finished job's patterns are **bit-identical**
+  to a single-process ``run_noise_tolerant_flow``;
+* SIGSTOP a worker (a hang, not a crash) — its heartbeat thread
+  freezes with it, the lease genuinely expires, another worker takes
+  over, and when the zombie is resumed its stale fencing token keeps
+  it from corrupting the finished job;
+* a shard that kills every worker that touches it ends ``dead`` with
+  the failure log on disk — bounded retries, never an infinite loop.
+
+Marked ``chaos``: CI runs them in their own lane with a hard timeout
+(see ``service-chaos`` in ci.yml).
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import run_noise_tolerant_flow
+from repro.service import (
+    JOB_DEAD,
+    JOB_DONE,
+    JobSpec,
+    JobStore,
+    ServiceClient,
+    ServiceConfig,
+    ServiceSupervisor,
+)
+from repro.soc import build_turbo_eagle
+
+pytestmark = pytest.mark.chaos
+
+#: Short TTL so reclaim-after-death is seconds, not the prod 30 s.
+TTL = 2.0
+
+
+@functools.lru_cache(maxsize=1)
+def reference_matrix():
+    design = build_turbo_eagle(scale="tiny", seed=2007)
+    result, _ = run_noise_tolerant_flow(design, seed=1)
+    return result.pattern_set.as_matrix()
+
+
+def make_store(tmp_path, **overrides) -> JobStore:
+    config = ServiceConfig(lease_ttl_s=TTL, **overrides)
+    return JobStore(str(tmp_path / "store"), config)
+
+
+def wait_for_running_shard(store: JobStore, job_id: str,
+                           timeout_s: float = 120.0):
+    """Poll until some shard of the job is being executed; returns it."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        job = store.get(job_id)
+        for shard in job.shards:
+            if shard.state == "running" and shard.lease is not None:
+                return shard
+        if job.terminal:
+            pytest.fail(f"job went terminal ({job.state}) before a "
+                        f"shard was observed running")
+        time.sleep(0.05)
+    pytest.fail("no shard entered the running state in time")
+
+
+def registry_pid(store: JobStore, worker_id: str) -> int:
+    """The OS pid a worker recorded in the store's worker registry."""
+    path = os.path.join(store.workers_dir, f"{worker_id}.json")
+    with open(path) as fh:
+        return int(json.load(fh)["pid"])
+
+
+def test_sigkilled_worker_mid_shard_job_completes_bit_identical(tmp_path):
+    """kill -9 mid-shard: lease expires, respawned worker resumes from
+    the checkpoints, and the result matches single-process exactly."""
+    store = make_store(tmp_path)
+    client = ServiceClient(store)
+    job_id = client.submit(JobSpec(scale="tiny"))
+    with ServiceSupervisor(store, n_workers=1) as sup:
+        shard = wait_for_running_shard(store, job_id)
+        victim = registry_pid(store, shard.lease.worker)
+        os.kill(victim, signal.SIGKILL)
+        sup.run_until_drained(timeout_s=240)
+    job = client.status(job_id)
+    assert job.state == JOB_DONE
+    # the kill left a lease-expiry scar on exactly the shard it hit
+    scars = [f for s in job.shards for f in s.failures]
+    assert any(f["kind"] == "lease_expired" for f in scars)
+    result = client.result(job_id)
+    assert np.array_equal(result["matrix"], reference_matrix())
+
+
+def test_hung_worker_lease_expires_and_peer_completes(tmp_path):
+    """SIGSTOP (hang): the frozen heartbeat lets the lease expire, a
+    peer worker finishes the job, and the resumed zombie's stale token
+    cannot disturb the finished state."""
+    store = make_store(tmp_path)
+    client = ServiceClient(store)
+    job_id = client.submit(JobSpec(scale="tiny"))
+    stopped = None
+    try:
+        with ServiceSupervisor(store, n_workers=2) as sup:
+            shard = wait_for_running_shard(store, job_id)
+            stopped = registry_pid(store, shard.lease.worker)
+            os.kill(stopped, signal.SIGSTOP)
+            sup.run_until_drained(timeout_s=240)
+            job = client.status(job_id)
+            assert job.state == JOB_DONE
+            result = client.result(job_id)
+            assert np.array_equal(result["matrix"], reference_matrix())
+            # wake the zombie *while the store is live*: its pending
+            # commit must be fenced off, not corrupt the done job
+            os.kill(stopped, signal.SIGCONT)
+            time.sleep(1.0)
+            stopped = None
+            final = client.status(job_id)
+            assert final.state == JOB_DONE
+            assert np.array_equal(
+                client.result(job_id)["matrix"], result["matrix"]
+            )
+        hung_shard = [s for s in final.shards if s.failures]
+        assert any(
+            f["kind"] == "lease_expired"
+            for s in hung_shard for f in s.failures
+        )
+    finally:
+        if stopped is not None:  # don't leak a stopped process on fail
+            os.kill(stopped, signal.SIGCONT)
+
+
+def test_worker_killing_shard_is_quarantined_dead(tmp_path):
+    """A shard that SIGKILLs every worker that claims it burns its
+    attempt budget and the job ends ``dead`` — with the failure log on
+    disk — instead of respawn-retrying forever."""
+    from repro.reporting import RunReport
+
+    store = make_store(tmp_path, max_shard_attempts=2)
+    client = ServiceClient(store)
+    job_id = client.submit(
+        JobSpec(scale="tiny",
+                chaos={"kill_shard": 1, "kill_attempts": 10 ** 9})
+    )
+    with ServiceSupervisor(store, n_workers=1) as sup:
+        sup.run_until_drained(timeout_s=240)
+    job = client.status(job_id)
+    assert job.state == JOB_DEAD
+    assert job.shards[0].state == "done"      # the healthy shard kept
+    assert job.shards[1].state == "dead"      # the poison one contained
+    assert job.shards[1].attempts == 2
+    assert "quarantined" in job.error
+    # never claimable again
+    assert store.claim("post-mortem") is None
+    # and the RunReport failure log survived the carnage
+    report = RunReport.load(store.report_path(job_id))
+    assert report.status == "failed"
+    assert len(report.failures) == 2
+    assert all(f["kind"] == "lease_expired" for f in report.failures)
