@@ -1,0 +1,147 @@
+"""Noise-aware timing pre-screen benchmark: pruned re-simulation vs
+the full per-pattern IR-scaled endpoint comparison.
+
+For a generated Turbo-Eagle SOC and an ATPG pattern set, runs the
+paper's full endpoint-delay comparison path (nominal event sim +
+dynamic IR solve + scaled event sim, every pattern) and the
+three-tier static pre-screen (`repro.timing.prescreen_pattern_set`)
+over the same patterns, then asserts the gates that make the bound
+worth shipping:
+
+* the pre-screen prunes a nonzero fraction of endpoint re-simulations
+  (``pruned_endpoint_fraction > 0``),
+* it is faster end-to-end than the full path (``speedup > 1``),
+* it is *sound*: both paths report exactly the same set of failing
+  (pattern, endpoint) misses, and the audited patterns record zero
+  bound violations.
+
+Emits machine-readable ``BENCH_timing.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.atpg.engine import AtpgEngine
+from repro.config import ElectricalEnv
+from repro.core.irscale import ir_scaled_endpoint_comparison
+from repro.pgrid import GridModel
+from repro.power import ScapCalculator
+from repro.reporting import format_table
+from repro.soc import build_turbo_eagle
+from repro.timing import prescreen_pattern_set
+
+_OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_timing.json"
+
+#: Setup margin used by the bound's pass/fail limit (matches
+#: repro.timing.bound.SETUP_NS).
+SETUP_NS = 0.12
+
+
+def _config():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    n_patterns = {"tiny": 48, "small": 32}.get(scale, 32)
+    return scale, n_patterns
+
+
+def _full_path_misses(calc, model, patterns, env):
+    """The paper's unpruned comparison; returns (misses, elapsed_s)."""
+    limit = calc.period_ns - SETUP_NS
+    misses = []
+    start = time.perf_counter()
+    for pi, pattern in enumerate(patterns):
+        cmp_ = ir_scaled_endpoint_comparison(
+            calc, model, pattern.v1_dict(), env=env
+        )
+        misses.extend(
+            (pi, fi)
+            for fi, delay in sorted(cmp_.scaled_ns.items())
+            if delay > limit
+        )
+    return misses, time.perf_counter() - start
+
+
+def test_timing_prescreen_prunes_and_stays_sound(benchmark):
+    scale, n_patterns = _config()
+    design = build_turbo_eagle(scale, seed=2007)
+    model = GridModel.calibrated(design)
+    domain = design.dominant_domain()
+    calc = ScapCalculator(design, domain)
+    env = ElectricalEnv()
+    patterns = (
+        AtpgEngine(design.netlist, domain, scan=design.scan, seed=2007)
+        .run(max_patterns=n_patterns)
+        .pattern_set
+    )
+
+    full_misses, full_s = _full_path_misses(calc, model, patterns, env)
+
+    def run():
+        start = time.perf_counter()
+        summary = prescreen_pattern_set(
+            calc, model, patterns, env=env, audit_patterns=0
+        )
+        return summary, time.perf_counter() - start
+
+    summary, prescreen_s = benchmark.pedantic(run, rounds=1, iterations=1)
+    # A separate audited pass records the empirical soundness check
+    # (it re-simulates the audited patterns, so it is timed apart).
+    audited = prescreen_pattern_set(
+        calc, model, patterns, env=env, audit_patterns=3
+    )
+
+    speedup = full_s / max(prescreen_s, 1e-9)
+    rows = [{
+        "patterns": summary.n_patterns,
+        "endpoints": summary.endpoints_total,
+        "pruned_pct": round(100.0 * summary.pruned_endpoint_fraction, 2),
+        "full_s": round(full_s, 4),
+        "prescreen_s": round(prescreen_s, 4),
+        "speedup": round(speedup, 2),
+    }]
+    print()
+    print(format_table(
+        rows,
+        columns=[
+            "patterns", "endpoints", "pruned_pct", "full_s",
+            "prescreen_s", "speedup",
+        ],
+        title=f"{design.name} ({domain}) timing pre-screen:",
+    ))
+
+    payload = {
+        "scale": scale,
+        "domain": domain,
+        "summary": summary.to_dict(),
+        "full_path_s": round(full_s, 4),
+        "prescreen_s": round(prescreen_s, 4),
+        "speedup": round(speedup, 3),
+        "misses_full": [list(m) for m in full_misses],
+        "misses_prescreen": [list(m) for m in summary.misses],
+        "soundness_checked": audited.soundness_checked,
+        "soundness_violations": audited.soundness_violations,
+    }
+    data = {}
+    if _OUT_PATH.exists():
+        data = json.loads(_OUT_PATH.read_text())
+    data["prescreen"] = payload
+    _OUT_PATH.write_text(json.dumps(data, indent=1, sort_keys=True) + "\n")
+
+    # The acceptance gates.
+    assert summary.pruned_endpoint_fraction > 0.0, (
+        "the static bound pruned no endpoint re-simulations"
+    )
+    assert speedup > 1.0, (
+        f"pre-screen was not faster than the full path "
+        f"({prescreen_s:.4f}s vs {full_s:.4f}s)"
+    )
+    assert sorted(summary.misses) == sorted(full_misses), (
+        "pruned path and full path disagree on failing endpoints"
+    )
+    assert audited.soundness_violations == 0, (
+        f"{audited.soundness_violations} bound violation(s) in "
+        f"{audited.soundness_checked} audited endpoint checks"
+    )

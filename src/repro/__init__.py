@@ -38,6 +38,12 @@ from .perf import (
 )
 from .power import PatternPowerProfile, ScapCalculator
 from .reporting import CheckpointStore, RunReport
+from .timing import (
+    DroopBoundAnalyzer,
+    DroopBoundReport,
+    prescreen_pattern_set,
+    prescreened_endpoint_comparison,
+)
 from .service import (
     JobSpec,
     JobStore,
@@ -78,7 +84,11 @@ __all__ = [
     "current_run_context",
     "derive_scap_thresholds",
     "execution_policy",
+    "DroopBoundAnalyzer",
+    "DroopBoundReport",
     "ir_scaled_endpoint_comparison",
+    "prescreen_pattern_set",
+    "prescreened_endpoint_comparison",
     "pool_map",
     "resilient_map",
     "run_drc",

@@ -13,6 +13,8 @@ Commands
 ``floorplan``   print the synthetic SOC floorplan,
 ``flow``        run the staged noise-tolerant flow with checkpoint/resume,
 ``drc``         static design-rule check / testability lint (no simulation),
+``sta``         static timing per clock domain (nominal, derated, or under
+                the worst-case droop bound), gated by the TIM-* rules,
 ``schedule``    power/TAM-constrained SOC test schedule (greedy vs binpack),
 ``serve``       run the sharded ATPG job service over a store directory,
 ``submit``      enqueue one flow job (optionally ``--wait`` for it),
@@ -245,8 +247,26 @@ def cmd_flow(args) -> int:
         context=RunContext(telemetry=telemetry),
         schedule_budget_mw=args.schedule_budget,
         schedule_strategy=args.schedule_strategy,
+        timing_prescreen=args.timing_prescreen,
+        timing_max_patterns=args.timing_max_patterns,
         seed=1,
     )
+    if report.timing is not None:
+        if "error" in report.timing:
+            print(f"timing: {report.timing['error']}", file=sys.stderr)
+        else:
+            counts = report.timing["endpoint_counts"]
+            print(
+                f"timing pre-screen: {report.timing['n_patterns']} "
+                f"patterns, {report.timing['endpoints_total']} endpoint "
+                f"checks — {counts['inactive']} inactive, "
+                f"{counts['safe_static'] + counts['safe_derated']} "
+                f"provably safe, {counts['at_risk']} at risk "
+                f"({report.timing['pruned_endpoint_fraction']:.1%} "
+                f"pruned); soundness "
+                f"{report.timing['soundness_violations']} violation(s) "
+                f"in {report.timing['soundness_checked']} checks"
+            )
     if report.schedule is not None:
         if "error" in report.schedule:
             print(f"schedule: {report.schedule['error']}", file=sys.stderr)
@@ -384,7 +404,10 @@ def cmd_drc(args) -> int:
     else:
         study = _study(args)
         thresholds = study.thresholds_mw if args.power else None
-        ctx = DrcContext.for_design(study.design, thresholds_mw=thresholds)
+        grid = study.model if args.timing else None
+        ctx = DrcContext.for_design(
+            study.design, thresholds_mw=thresholds, grid=grid
+        )
     report = run_drc(ctx, waivers=waivers)
     print(report.format_text())
     if args.json_out:
@@ -394,6 +417,142 @@ def cmd_drc(args) -> int:
     if gating:
         print(
             f"FAIL: {len(gating)} unwaived violation(s) at or above "
+            f"severity {args.fail_on!r}",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def cmd_sta(args) -> int:
+    import json
+
+    import numpy as np
+
+    from .config import ElectricalEnv
+    from .drc import DrcContext, run_drc
+    from .sim.delays import DelayModel
+    from .sim.sta import StaticTimingAnalyzer
+
+    if args.derate is not None and args.derate < 1.0:
+        print(
+            "error: --derate must be >= 1.0 (droop only slows cells)",
+            file=sys.stderr,
+        )
+        return 2
+    study = _study(args)
+    design = study.design
+    mode = (
+        "droop-bound"
+        if args.droop_bound
+        else (
+            f"derate {args.derate:g}"
+            if args.derate is not None
+            else "nominal"
+        )
+    )
+    # The droop-bound mode needs the calibrated power grid; the other
+    # modes stay simulation- and grid-free.
+    model = study.model if args.droop_bound else None
+    env = ElectricalEnv()
+    delays = DelayModel(design.netlist, design.parasitics)
+    launch_domains = {
+        f.clock_domain for f in design.netlist.flops if f.edge == "pos"
+    }
+    rows = []
+    domains_json = {}
+    for name in sorted(design.domains):
+        if name not in launch_domains:
+            continue
+        if args.droop_bound:
+            from .timing import DroopBoundAnalyzer
+
+            analyzer = DroopBoundAnalyzer(
+                design, name, model=model, env=env, delays=delays
+            )
+            gate_droop, flop_droop, _total = analyzer.droop_bounds_v()
+            report = analyzer.sta.analyze(
+                gate_derate=1.0
+                + env.k_volt * np.clip(gate_droop, 0.0, None),
+                flop_derate=1.0
+                + env.k_volt * np.clip(flop_droop, 0.0, None),
+            )
+        else:
+            sta = StaticTimingAnalyzer(
+                design.netlist,
+                delays,
+                design.clock_trees[name],
+                design.domains[name].period_ns,
+                name,
+            )
+            if args.derate is not None:
+                report = sta.analyze(
+                    gate_derate=np.full(
+                        design.netlist.n_gates, args.derate
+                    ),
+                    flop_derate=np.full(
+                        design.netlist.n_flops, args.derate
+                    ),
+                )
+            else:
+                report = sta.analyze()
+        worst = report.worst_endpoints(1)
+        rows.append({
+            "domain": name,
+            "period_ns": round(report.period_ns, 3),
+            "endpoints": len(report.endpoints),
+            "worst_slack_ns": round(report.worst_slack_ns, 3),
+            "worst_endpoint": worst[0].flop_name if worst else "",
+            "failing": len(report.failing_endpoints()),
+        })
+        domains_json[name] = {
+            "period_ns": report.period_ns,
+            "n_endpoints": len(report.endpoints),
+            "worst_slack_ns": report.worst_slack_ns,
+            "failing_endpoints": len(report.failing_endpoints()),
+            "worst_endpoints": [
+                {
+                    "flop_name": ep.flop_name,
+                    "arrival_ns": round(ep.arrival_ns, 6),
+                    "required_ns": round(ep.required_ns, 6),
+                    "slack_ns": round(ep.slack_ns, 6),
+                }
+                for ep in report.worst_endpoints(5)
+            ],
+        }
+    print(format_table(
+        rows,
+        columns=["domain", "period_ns", "endpoints", "worst_slack_ns",
+                 "worst_endpoint", "failing"],
+        title=f"static timing per clock domain ({mode}):",
+    ))
+
+    ctx = DrcContext.for_design(
+        design, grid=model, timing_guard_band_ns=args.guard_band
+    )
+    drc_report = run_drc(ctx, families=["timing"])
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(
+                {
+                    "mode": mode,
+                    "guard_band_ns": args.guard_band,
+                    "domains": domains_json,
+                    "drc": drc_report.to_dict(),
+                },
+                fh,
+                indent=1,
+                sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+    gating = drc_report.gating_violations(args.fail_on)
+    if gating:
+        for v in gating[:10]:
+            print(f"  {v.severity} {v.rule_id}: {v.message}",
+                  file=sys.stderr)
+        print(
+            f"FAIL: {len(gating)} TIM violation(s) at or above "
             f"severity {args.fail_on!r}",
             file=sys.stderr,
         )
@@ -660,7 +819,33 @@ def main(argv=None) -> int:
                    help="derive SCAP thresholds and run the static "
                         "power pre-screen (calibrates the power grid; "
                         "generated designs only)")
+    p.add_argument("--timing", action="store_true",
+                   help="calibrate the power grid so the droop-bound "
+                        "rule (TIM-DROOP) runs too (generated designs "
+                        "only)")
     p.set_defaults(fn=cmd_drc)
+
+    p = sub.add_parser(
+        "sta",
+        help="static timing per clock domain, gated by the TIM-* rules",
+    )
+    _add_common(p)
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--derate", type=float, metavar="K",
+                      help="multiply every cell delay by K >= 1.0 "
+                           "(uniform voltage-noise margin)")
+    mode.add_argument("--droop-bound", action="store_true",
+                      help="derate each cell by the worst-case static "
+                           "droop bound (calibrates the power grid)")
+    p.add_argument("--guard-band", type=float, metavar="NS",
+                   help="TIM-MARGIN guard band in ns (default: 0.5)")
+    p.add_argument("--json", dest="json_out", metavar="FILE",
+                   help="write the per-domain report and the TIM DRC "
+                        "findings as JSON")
+    p.add_argument("--fail-on", default="error", choices=FAIL_ON_CHOICES,
+                   help="lowest TIM severity that makes the command "
+                        "exit non-zero (default: error)")
+    p.set_defaults(fn=cmd_sta)
 
     p = sub.add_parser(
         "flow", help="staged noise-tolerant flow with checkpoint/resume"
@@ -692,6 +877,13 @@ def main(argv=None) -> int:
                    choices=["greedy", "binpack"],
                    help="scheduler for --schedule-budget "
                         "(default: binpack)")
+    p.add_argument("--timing-prescreen", action="store_true",
+                   help="classify every generated pattern's endpoints "
+                        "against the droop-derated delay bound; only "
+                        "at-risk ones pay the IR-scaled re-simulation")
+    p.add_argument("--timing-max-patterns", type=int, metavar="N",
+                   help="cap how many patterns the timing pre-screen "
+                        "examines")
     p.set_defaults(fn=cmd_flow)
 
     p = sub.add_parser(

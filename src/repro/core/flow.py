@@ -30,7 +30,7 @@ from ..atpg.faults import TransitionFault, build_fault_universe, collapse_faults
 from ..atpg.fsim import FaultSimulator, first_detection_index
 from ..atpg.patterns import PatternSet
 from ..context import RunContext, use_run_context
-from ..errors import ConfigError, DrcError
+from ..errors import ConfigError, DrcError, PowerGridError
 from ..obs import AnyTelemetry, current_telemetry, use_telemetry
 from ..perf.resilient import collect_reports
 from ..reporting.checkpoint import CheckpointStore, config_fingerprint
@@ -489,6 +489,8 @@ def run_noise_tolerant_flow(
     schedule_budget_mw: Optional[float] = None,
     schedule_strategy: str = "binpack",
     schedule_tam_width: Optional[int] = None,
+    timing_prescreen: bool = False,
+    timing_max_patterns: Optional[int] = None,
     **generator_kwargs,
 ) -> Tuple[Optional[FlowResult], RunReport]:
     """The staged noise-aware flow as a fault-tolerant, resumable run.
@@ -534,6 +536,16 @@ def run_noise_tolerant_flow(
     The validated schedule digest lands in ``report.schedule``; an
     infeasible budget records a failed stage (raising only under
     ``strict=True``).
+
+    With ``timing_prescreen=True`` a successful generation run is
+    followed by the noise-aware static timing pre-screen
+    (:func:`~repro.timing.prescreen.prescreen_pattern_set`): every
+    generated pattern's endpoints are classified inactive / provably
+    safe / at-risk against the droop-derated delay bound, only at-risk
+    ones pay the IR-scaled re-simulation, and the digest — counts,
+    pruned-endpoint fraction, cycle misses and the empirical soundness
+    check — lands in ``report.timing``.  *timing_max_patterns* caps how
+    many patterns the stage screens.
     """
     ctx = context if context is not None else RunContext()
     if telemetry is not None:
@@ -664,6 +676,44 @@ def run_noise_tolerant_flow(
                             ),
                         },
                     )
+
+            if timing_prescreen:
+                stage_started = time.time()
+                try:
+                    with tel.span("flow.timing", domain=generator.domain):
+                        timing = _timing_from_flow(
+                            design, generator.domain, flow_result,
+                            max_patterns=timing_max_patterns,
+                        )
+                except (ConfigError, PowerGridError) as exc:
+                    report.timing = {"error": str(exc)}
+                    report.record_stage(
+                        "timing", "failed", detail={"error": repr(exc)}
+                    )
+                    report.status = RUN_PARTIAL
+                    tel.log.error("timing stage failed: %s", exc)
+                    if strict:
+                        finalize()
+                        if report_path is not None:
+                            report.save(report_path)
+                        raise
+                else:
+                    report.timing = timing.to_dict()
+                    report.record_stage(
+                        "timing", "completed",
+                        detail={
+                            "patterns": timing.n_patterns,
+                            "pruned_endpoint_fraction": round(
+                                timing.pruned_endpoint_fraction, 6
+                            ),
+                            "at_risk": timing.endpoint_counts["at_risk"],
+                            "soundness_violations":
+                                timing.soundness_violations,
+                            "elapsed_s": round(
+                                time.time() - stage_started, 6
+                            ),
+                        },
+                    )
         tel.log.info(
             "flow %s: %d pattern(s)", report.status,
             flow_result.n_patterns if flow_result is not None else 0,
@@ -704,6 +754,34 @@ def _schedule_from_flow(
     )
     schedule.validate()
     return schedule
+
+
+def _timing_from_flow(
+    design: SocDesign,
+    domain: str,
+    flow_result: FlowResult,
+    *,
+    max_patterns: Optional[int] = None,
+):
+    """Noise-aware timing pre-screen of a finished flow's patterns.
+
+    Calibrates a power grid for the design, then classifies every
+    pattern's endpoints against the droop-derated delay bound —
+    provably safe ones skip the IR-scaled re-simulation entirely (see
+    :mod:`repro.timing.prescreen`).
+    """
+    from ..pgrid.grid import GridModel
+    from ..power.calculator import ScapCalculator
+    from ..timing.prescreen import prescreen_pattern_set
+
+    model = GridModel.calibrated(design)
+    calculator = ScapCalculator(design, domain)
+    return prescreen_pattern_set(
+        calculator,
+        model,
+        flow_result.pattern_set,
+        max_patterns=max_patterns,
+    )
 
 
 def _grade_existing(

@@ -94,42 +94,48 @@ def clock_droop_scale_fn(
     return scale
 
 
-def ir_scaled_endpoint_comparison(
+def ir_nominal_case(
     calculator: ScapCalculator,
     model: GridModel,
-    pattern,
-    index: Optional[int] = None,
-    env: Optional[ElectricalEnv] = None,
-) -> IrScaledComparison:
-    """Run the two-case comparison for one pattern.
+    v1: Dict[int, int],
+) -> Tuple["object", DynamicIrResult, Dict[int, float]]:
+    """Case 1 of the comparison: nominal timing and its IR-drop field.
 
-    ``pattern`` is a :class:`~repro.atpg.patterns.Pattern` or a raw
-    v1 dict (then pass ``index``).
+    Returns ``(nominal_timing, ir, nominal_delays)``.  Split out so the
+    noise-aware pre-screen (:mod:`repro.timing.prescreen`) can run this
+    half, prove the scaled case safe statically, and skip Case 2.
     """
-    if env is None:
-        env = ElectricalEnv()
+    design = calculator.design
+    domain = calculator.domain
+    nominal_timing = calculator.simulate_pattern(v1)
+    ir = dynamic_ir_for_pattern(model, nominal_timing, domain=domain)
+    nominal_delays = endpoint_delays(
+        design.netlist,
+        design.clock_trees[domain],
+        nominal_timing,
+        flops=list(calculator.launch_time),
+    )
+    return nominal_timing, ir, nominal_delays
+
+
+def ir_scaled_case(
+    calculator: ScapCalculator,
+    model: GridModel,
+    v1: Dict[int, int],
+    ir: DynamicIrResult,
+    env: ElectricalEnv,
+) -> Dict[int, float]:
+    """Case 2: every cell slowed by its local droop.
+
+    The asymmetry that creates the paper's Region 2: the *launch* clock
+    edge propagates at the start of the cycle, before the switching
+    burst, so it sees near-nominal buffer delays; the *capture* edge
+    arrives mid-droop and is measured against the scaled clock tree.
+    """
     design = calculator.design
     netlist = design.netlist
     domain = calculator.domain
     tree = design.clock_trees[domain]
-
-    if isinstance(pattern, dict):
-        v1, idx = pattern, index if index is not None else 0
-    else:
-        v1, idx = pattern.v1_dict(), pattern.index
-
-    # Case 1: nominal timing and its IR-drop field.
-    nominal_timing = calculator.simulate_pattern(v1)
-    ir = dynamic_ir_for_pattern(model, nominal_timing, domain=domain)
-    nominal_delays = endpoint_delays(
-        netlist, tree, nominal_timing, flops=list(calculator.launch_time)
-    )
-
-    # Case 2: every cell slowed by its local droop.  The asymmetry that
-    # creates the paper's Region 2: the *launch* clock edge propagates
-    # at the start of the cycle, before the switching burst, so it sees
-    # near-nominal buffer delays; the *capture* edge arrives mid-droop
-    # and is measured against the scaled clock tree below.
     scaled_model = calculator.delays.scaled(
         ir.gate_droop_v, ir.flop_droop_v, env
     )
@@ -147,7 +153,7 @@ def ir_scaled_endpoint_comparison(
     scaled_timing = scaled_sim.simulate(
         cyc.frame1, events, capture_time_ns=calculator.period_ns
     )
-    scaled_delays = endpoint_delays(
+    return endpoint_delays(
         netlist,
         tree,
         scaled_timing,
@@ -155,6 +161,30 @@ def ir_scaled_endpoint_comparison(
         clock_delay_scale=clock_scale,
     )
 
+
+def ir_scaled_endpoint_comparison(
+    calculator: ScapCalculator,
+    model: GridModel,
+    pattern,
+    index: Optional[int] = None,
+    env: Optional[ElectricalEnv] = None,
+) -> IrScaledComparison:
+    """Run the two-case comparison for one pattern.
+
+    ``pattern`` is a :class:`~repro.atpg.patterns.Pattern` or a raw
+    v1 dict (then pass ``index``).
+    """
+    if env is None:
+        env = ElectricalEnv()
+    if isinstance(pattern, dict):
+        v1, idx = pattern, index if index is not None else 0
+    else:
+        v1, idx = pattern.v1_dict(), pattern.index
+
+    _nominal_timing, ir, nominal_delays = ir_nominal_case(
+        calculator, model, v1
+    )
+    scaled_delays = ir_scaled_case(calculator, model, v1, ir, env)
     return IrScaledComparison(
         pattern_index=idx,
         nominal_ns=nominal_delays,

@@ -16,11 +16,15 @@ under indictment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..dft.scan import ScanConfig, scan_config_from_flops
 from ..netlist.netlist import Netlist
 from ..soc.design import SocDesign
+
+if TYPE_CHECKING:  # heavy imports stay lazy for bare-netlist checks
+    from ..pgrid.grid import GridModel
+    from ..sim.sta import StaReport
 
 #: One driver of a net: a human-readable descriptor such as
 #: ``"gate 'u3'"``, ``"flop 'f0'"`` or ``"primary input 2"``.
@@ -43,6 +47,11 @@ class DrcContext:
     scan: Optional[ScanConfig] = None
     thresholds_mw: Optional[Dict[str, float]] = None
     domain: Optional[str] = None
+    #: Power-grid model for the droop-bound rule (TIM-DROOP); optional —
+    #: rules requiring it are skipped with "no power-grid model".
+    grid: Optional["GridModel"] = None
+    #: Slack below which TIM-MARGIN flags an endpoint; None = default.
+    timing_guard_band_ns: Optional[float] = None
 
     _driver_census: Optional[Dict[int, List[DriverDesc]]] = field(
         default=None, repr=False
@@ -57,6 +66,9 @@ class DrcContext:
     _topo_tried: bool = field(default=False, repr=False)
     _stuck_gates: Optional[List[int]] = field(default=None, repr=False)
     _domain_sources: Optional[List[FrozenSet[str]]] = field(
+        default=None, repr=False
+    )
+    _sta_reports: Optional[Dict[str, "StaReport"]] = field(
         default=None, repr=False
     )
 
@@ -83,6 +95,8 @@ class DrcContext:
         design: SocDesign,
         thresholds_mw: Optional[Dict[str, float]] = None,
         domain: Optional[str] = None,
+        grid: Optional["GridModel"] = None,
+        timing_guard_band_ns: Optional[float] = None,
     ) -> "DrcContext":
         """Context for a full SOC design (all rule families)."""
         return cls(
@@ -90,6 +104,8 @@ class DrcContext:
             design=design,
             thresholds_mw=thresholds_mw,
             domain=domain,
+            grid=grid,
+            timing_guard_band_ns=timing_guard_band_ns,
         )
 
     # ------------------------------------------------------------------
@@ -256,6 +272,44 @@ class DrcContext:
                 sources[gate.output] = acc
             self._domain_sources = sources
         return self._domain_sources
+
+    # ------------------------------------------------------------------
+    # static timing analysis (simulation-free, like everything here)
+    # ------------------------------------------------------------------
+    def sta_reports(self) -> Dict[str, "StaReport"]:
+        """Nominal per-domain STA of the design, memoised.
+
+        One levelised arrival sweep per clock domain with launch-capable
+        flops — static analysis, consistent with the context's
+        simulation-free contract.  Requires ``design`` (the timing rules
+        declare that requirement, so they are skipped on bare netlists).
+        """
+        if self._sta_reports is None:
+            from ..sim.delays import DelayModel
+            from ..sim.sta import StaticTimingAnalyzer
+
+            assert self.design is not None
+            design = self.design
+            delays = DelayModel(design.netlist, design.parasitics)
+            launch_domains = {
+                f.clock_domain
+                for f in design.netlist.flops
+                if f.edge == "pos"
+            }
+            reports: Dict[str, "StaReport"] = {}
+            for name in sorted(design.domains):
+                if name not in launch_domains:
+                    continue
+                sta = StaticTimingAnalyzer(
+                    design.netlist,
+                    delays,
+                    design.clock_trees[name],
+                    design.domains[name].period_ns,
+                    name,
+                )
+                reports[name] = sta.analyze()
+            self._sta_reports = reports
+        return self._sta_reports
 
     # ------------------------------------------------------------------
     def net_name(self, net: int) -> str:

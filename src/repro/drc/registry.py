@@ -7,7 +7,7 @@ against a context, skips rules whose requirements the context cannot
 satisfy (recording why), applies waivers and returns a
 :class:`~repro.drc.violation.DrcReport`.
 
-The default registry assembles the shipped rule catalog from the four
+The default registry assembles the shipped rule catalog from the five
 family modules; callers can build restricted registries (e.g. the flow
 gate skips the power family) or register project-specific rules.
 """
@@ -24,7 +24,7 @@ from .violation import DrcReport, Violation
 from .waivers import WaiverSet
 
 #: The rule families shipped with the default registry.
-FAMILIES = ("structural", "scan", "clocking", "power")
+FAMILIES = ("structural", "scan", "clocking", "power", "timing")
 
 RuleFn = Callable[[DrcContext], List[Violation]]
 
@@ -35,9 +35,10 @@ class DrcRule:
 
     ``requires`` names the optional context pieces the rule needs:
     ``"scan"`` (a scan configuration), ``"design"`` (a full
-    :class:`~repro.soc.design.SocDesign`) or ``"thresholds"`` (per-
-    block SCAP limits).  A rule whose requirements are unmet is skipped
-    and recorded, never silently dropped.
+    :class:`~repro.soc.design.SocDesign`), ``"thresholds"`` (per-block
+    SCAP limits) or ``"grid"`` (a power-grid model for the droop
+    bound).  A rule whose requirements are unmet is skipped and
+    recorded, never silently dropped.
     """
 
     rule_id: str
@@ -56,6 +57,8 @@ class DrcRule:
                 return "bare netlist (no SOC design)"
             if req == "thresholds" and ctx.thresholds_mw is None:
                 return "no SCAP thresholds supplied"
+            if req == "grid" and ctx.grid is None:
+                return "no power-grid model"
         return None
 
 
@@ -105,7 +108,13 @@ class RuleRegistry:
 
 def default_registry() -> RuleRegistry:
     """A fresh registry holding the full shipped rule catalog."""
-    from . import rules_clocking, rules_power, rules_scan, rules_structural
+    from . import (
+        rules_clocking,
+        rules_power,
+        rules_scan,
+        rules_structural,
+        rules_timing,
+    )
 
     registry = RuleRegistry()
     for module in (
@@ -113,6 +122,7 @@ def default_registry() -> RuleRegistry:
         rules_scan,
         rules_clocking,
         rules_power,
+        rules_timing,
     ):
         for rule in module.RULES:
             registry.register(rule)

@@ -1,0 +1,281 @@
+"""Timing rule family: static slack checks and the droop bound.
+
+==========  =========  ==================================================
+rule id     severity   checks
+==========  =========  ==================================================
+TIM-SLACK   ERROR/INFO nominal static timing closure per clock domain —
+                       ERROR per endpoint whose worst arrival misses its
+                       required time, INFO per domain that closes
+TIM-MARGIN  WARN       endpoints that close but sit inside the guard
+                       band (``DrcContext.timing_guard_band_ns``,
+                       default 0.5 ns) — first to fail under any noise
+TIM-UNCON   WARN       capture flops whose data input no launch flop of
+                       any domain can reach combinationally — a delay
+                       test can never be launched through them
+TIM-DROOP   WARN/INFO  endpoints that close nominally but whose
+                       worst-case droop-derated delay bound
+                       (:mod:`repro.timing.bound`) misses the cycle —
+                       supply noise *could* open them; route their
+                       patterns through the noise-aware pre-screen
+==========  =========  ==================================================
+
+TIM-SLACK is the only ERROR of the family: negative nominal slack is a
+broken design regardless of patterns.  TIM-DROOP is a steering WARN
+like the power family — its bound is conservative by design, so a flag
+means "cannot be proven safe statically", not "will fail".
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .context import DrcContext
+from .registry import DrcRule
+from .violation import ERROR, INFO, WARN, Violation
+
+#: Default TIM-MARGIN guard band (ns) when the context sets none.
+GUARD_BAND_NS = 0.5
+
+
+def rule_tim_slack(ctx: DrcContext) -> List[Violation]:
+    assert ctx.design is not None
+    out: List[Violation] = []
+    for domain, report in sorted(ctx.sta_reports().items()):
+        failing = report.failing_endpoints()
+        if not failing:
+            out.append(
+                Violation(
+                    rule_id="TIM-SLACK",
+                    severity=INFO,
+                    message=(
+                        f"domain {domain}: timing closed — worst slack "
+                        f"{report.worst_slack_ns:.3f} ns over "
+                        f"{len(report.endpoints)} endpoints at "
+                        f"{report.period_ns:.1f} ns period"
+                    ),
+                    location={
+                        "domain": domain,
+                        "worst_slack_ns": round(report.worst_slack_ns, 6),
+                        "endpoints": len(report.endpoints),
+                    },
+                )
+            )
+            continue
+        for ep in sorted(failing, key=lambda e: e.slack_ns):
+            out.append(
+                Violation(
+                    rule_id="TIM-SLACK",
+                    severity=ERROR,
+                    message=(
+                        f"endpoint {ep.flop_name} ({domain}): worst "
+                        f"arrival {ep.arrival_ns:.3f} ns misses the "
+                        f"required {ep.required_ns:.3f} ns by "
+                        f"{-ep.slack_ns:.3f} ns"
+                    ),
+                    location={
+                        "domain": domain,
+                        "flop": ep.flop,
+                        "flop_name": ep.flop_name,
+                        "slack_ns": round(ep.slack_ns, 6),
+                    },
+                    fix_hint=(
+                        "the path misses the cycle even without noise — "
+                        "slow the clock or restructure the logic cone"
+                    ),
+                )
+            )
+    return out
+
+
+def rule_tim_margin(ctx: DrcContext) -> List[Violation]:
+    assert ctx.design is not None
+    guard = (
+        ctx.timing_guard_band_ns
+        if ctx.timing_guard_band_ns is not None
+        else GUARD_BAND_NS
+    )
+    out: List[Violation] = []
+    for domain, report in sorted(ctx.sta_reports().items()):
+        tight = [
+            ep
+            for ep in report.endpoints
+            if 0.0 <= ep.slack_ns < guard
+        ]
+        for ep in sorted(tight, key=lambda e: e.slack_ns):
+            out.append(
+                Violation(
+                    rule_id="TIM-MARGIN",
+                    severity=WARN,
+                    message=(
+                        f"endpoint {ep.flop_name} ({domain}): closes "
+                        f"with only {ep.slack_ns:.3f} ns slack — inside "
+                        f"the {guard:.3f} ns guard band; first to fail "
+                        f"under supply noise"
+                    ),
+                    location={
+                        "domain": domain,
+                        "flop": ep.flop,
+                        "flop_name": ep.flop_name,
+                        "slack_ns": round(ep.slack_ns, 6),
+                        "guard_band_ns": round(guard, 6),
+                    },
+                    fix_hint=(
+                        "prioritise this endpoint in the noise-aware "
+                        "screen; a small droop-induced derate eats the "
+                        "margin"
+                    ),
+                )
+            )
+    return out
+
+
+def rule_tim_uncon(ctx: DrcContext) -> List[Violation]:
+    sources = ctx.net_domain_sources()
+    if sources is None:
+        return []
+    out: List[Violation] = []
+    for fi, flop in enumerate(ctx.netlist.flops):
+        if not sources[flop.d]:
+            out.append(
+                Violation(
+                    rule_id="TIM-UNCON",
+                    severity=WARN,
+                    message=(
+                        f"flop {flop.name!r}: data input "
+                        f"{ctx.net_name(flop.d)!r} is reachable from no "
+                        f"launch flop of any clock domain — no "
+                        f"transition-delay test can be launched through "
+                        f"this endpoint"
+                    ),
+                    location={
+                        "flop": fi,
+                        "flop_name": flop.name,
+                        "d_net": flop.d,
+                        "d_net_name": ctx.net_name(flop.d),
+                    },
+                    fix_hint=(
+                        "the cone is fed only by primary inputs (or a "
+                        "combinational loop); exclude the endpoint from "
+                        "delay-fault coverage accounting or add a "
+                        "launch point"
+                    ),
+                )
+            )
+    return out
+
+
+def rule_tim_droop(ctx: DrcContext) -> List[Violation]:
+    import numpy as np
+
+    from ..config import ElectricalEnv
+    from ..timing.bound import DroopBoundAnalyzer
+
+    assert ctx.design is not None and ctx.grid is not None
+    env = ElectricalEnv()
+    out: List[Violation] = []
+    for domain, report in sorted(ctx.sta_reports().items()):
+        nominal_slack = {ep.flop: ep.slack_ns for ep in report.endpoints}
+        analyzer = DroopBoundAnalyzer(
+            ctx.design, domain, model=ctx.grid, env=env
+        )
+        gate_droop, flop_droop, _total = analyzer.droop_bounds_v()
+        gate_derate = 1.0 + env.k_volt * np.clip(gate_droop, 0.0, None)
+        flop_derate = 1.0 + env.k_volt * np.clip(flop_droop, 0.0, None)
+        bound = analyzer.derated_bounds(
+            set(analyzer.scap.launch_time_ns), gate_derate, flop_derate
+        )
+        opened = [
+            ep
+            for ep in bound.endpoints.values()
+            if ep.bound_slack_ns < 0.0
+            and nominal_slack.get(ep.flop, -1.0) >= 0.0
+        ]
+        if not opened:
+            out.append(
+                Violation(
+                    rule_id="TIM-DROOP",
+                    severity=INFO,
+                    message=(
+                        f"domain {domain}: worst-case droop cannot open "
+                        f"any nominally-closed endpoint — bound slack "
+                        f"stays >= "
+                        f"{bound.worst_bound_slack_ns():.3f} ns"
+                    ),
+                    location={
+                        "domain": domain,
+                        "worst_bound_slack_ns": _finite_round(
+                            bound.worst_bound_slack_ns()
+                        ),
+                    },
+                )
+            )
+            continue
+        worst = min(opened, key=lambda ep: ep.bound_slack_ns)
+        out.append(
+            Violation(
+                rule_id="TIM-DROOP",
+                severity=WARN,
+                message=(
+                    f"domain {domain}: {len(opened)} nominally-closed "
+                    f"endpoint(s) cannot be proven safe under "
+                    f"worst-case supply droop — worst is "
+                    f"{worst.flop_name!r} with bound slack "
+                    f"{worst.bound_slack_ns:.3f} ns"
+                ),
+                location={
+                    "domain": domain,
+                    "endpoints_at_risk": len(opened),
+                    "worst_flop": worst.flop,
+                    "worst_flop_name": worst.flop_name,
+                    "worst_bound_slack_ns": round(
+                        worst.bound_slack_ns, 6
+                    ),
+                },
+                fix_hint=(
+                    "run these patterns through the noise-aware "
+                    "pre-screen (repro flow --timing-prescreen) so only "
+                    "genuinely risky ones pay the IR-scaled "
+                    "re-simulation"
+                ),
+            )
+        )
+    return out
+
+
+def _finite_round(value: float, digits: int = 6) -> float:
+    return round(value, digits) if value != float("inf") else float("inf")
+
+
+RULES = [
+    DrcRule(
+        "TIM-SLACK",
+        "timing",
+        ERROR,
+        "nominal static timing closure",
+        rule_tim_slack,
+        requires=("design",),
+    ),
+    DrcRule(
+        "TIM-MARGIN",
+        "timing",
+        WARN,
+        "guard-band slack margin",
+        rule_tim_margin,
+        requires=("design",),
+    ),
+    DrcRule(
+        "TIM-UNCON",
+        "timing",
+        WARN,
+        "unconstrained delay-test endpoints",
+        rule_tim_uncon,
+    ),
+    DrcRule(
+        "TIM-DROOP",
+        "timing",
+        WARN,
+        "droop-derated bound vs nominal closure",
+        rule_tim_droop,
+        requires=("design", "grid"),
+    ),
+]

@@ -104,6 +104,11 @@ class StaticScapBound:
 
     # ------------------------------------------------------------------
     @property
+    def energy_of_net_fj(self) -> np.ndarray:
+        """Per-net switching energy of one transition (``C * VDD^2``)."""
+        return self._energy_of_net
+
+    @property
     def stw_floor_ns(self) -> float:
         """Earliest possible launch event — the smallest STW any
         pattern that switches anything can exhibit."""

@@ -68,6 +68,12 @@ class RunReport:
     #: included a scheduling stage; an ``{"error": ...}`` dict when the
     #: stage failed; None when no scheduling was requested.
     schedule: Optional[Dict[str, Any]] = None
+    #: Noise-aware timing pre-screen digest (see
+    #: :meth:`repro.timing.TimingPrescreenSummary.to_dict`) — safe /
+    #: at-risk / pruned endpoint counts and the empirical soundness
+    #: check; an ``{"error": ...}`` dict when the stage failed; None
+    #: when no pre-screen was requested.
+    timing: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def completed_stages(self) -> List[str]:
@@ -134,6 +140,7 @@ class RunReport:
             "drc": self.drc,
             "telemetry": self.telemetry,
             "schedule": self.schedule,
+            "timing": self.timing,
         }
 
     def to_json(self, indent: int = 1) -> str:
@@ -162,6 +169,7 @@ class RunReport:
             drc=data.get("drc"),
             telemetry=data.get("telemetry"),
             schedule=data.get("schedule"),
+            timing=data.get("timing"),
         )
         for stage in data.get("stages", []):
             report.stages.append(

@@ -117,6 +117,7 @@ class StaticTimingAnalyzer:
         clock_delay_scale: Optional[
             Callable[[ClockBuffer, float], float]
         ] = None,
+        launch_flops: Optional[Sequence[int]] = None,
     ) -> StaReport:
         """Run STA; derates multiply the corresponding nominal delays.
 
@@ -124,7 +125,11 @@ class StaticTimingAnalyzer:
         everywhere; ``clock_delay_scale`` rescales clock-tree buffer
         delays (late capture clocks relax required times, late launch
         clocks push arrivals — both are modelled, as in the paper's
-        Region-2 discussion).
+        Region-2 discussion).  ``launch_flops`` restricts which launch
+        points seed arrivals (the per-pattern tightening of the
+        noise-aware bound: only flops that actually toggle launch);
+        endpoints are still every capture flop of the domain, and cones
+        the seeds cannot reach simply drop out of the report.
         """
         netlist = self.netlist
         n_gates = netlist.n_gates
@@ -136,6 +141,17 @@ class StaticTimingAnalyzer:
             raise SimulationError("gate_derate length mismatch")
         if len(flop_derate) != netlist.n_flops:
             raise SimulationError("flop_derate length mismatch")
+        if launch_flops is None:
+            seeds = list(self._launch_flops)
+        else:
+            seeds = list(launch_flops)
+            allowed = set(self._launch_flops)
+            bad = [fi for fi in seeds if fi not in allowed]
+            if bad:
+                raise SimulationError(
+                    f"launch_flops {sorted(bad)} are not launch-capable "
+                    f"flops of domain {self.domain!r}"
+                )
 
         neg_inf = float("-inf")
         arrival = np.full(netlist.n_nets, neg_inf)
@@ -146,6 +162,7 @@ class StaticTimingAnalyzer:
             insertion[fi] = self.tree.insertion_delay_ns(
                 fi, delay_scale=clock_delay_scale
             )
+        for fi in seeds:
             q = netlist.flops[fi].q
             t = (
                 insertion[fi]
@@ -336,15 +353,63 @@ def analyze_statistical(
 
 
 def derates_from_ir(
-    ir, env: Optional[ElectricalEnv] = None
+    ir,
+    env: Optional[ElectricalEnv] = None,
+    *,
+    netlist: Optional[Netlist] = None,
+    only: Optional[Sequence[str]] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-instance derate factors from a dynamic IR-drop result.
 
     ``factor = 1 + k_volt * droop`` — the paper's formula expressed as a
     multiplicative derate for STA.
+
+    ``only`` restricts derating to the named gate/flop instances
+    (everything else keeps factor 1.0) — useful for what-if analysis of
+    a single block's droop.  Restricting requires *netlist* for the
+    name lookup; an empty or unknown selection is a caller bug and
+    fails with a one-line error instead of silently derating nothing.
     """
     if env is None:
         env = ElectricalEnv()
-    gate = 1.0 + env.k_volt * np.clip(ir.gate_droop_v, 0.0, None)
-    flop = 1.0 + env.k_volt * np.clip(ir.flop_droop_v, 0.0, None)
+    gate_droop = np.asarray(ir.gate_droop_v, dtype=float)
+    flop_droop = np.asarray(ir.flop_droop_v, dtype=float)
+    if only is not None:
+        if netlist is None:
+            raise SimulationError(
+                "derates_from_ir: only= needs netlist= to resolve "
+                "instance names"
+            )
+        names = list(only)
+        if not names:
+            raise SimulationError(
+                "derates_from_ir: empty instance restriction — pass "
+                "only=None to derate every instance"
+            )
+        if len(gate_droop) != netlist.n_gates:
+            raise SimulationError(
+                f"derates_from_ir: IR result has {len(gate_droop)} gate "
+                f"droops but the netlist has {netlist.n_gates} gates"
+            )
+        gate_idx = {g.name: gi for gi, g in enumerate(netlist.gates)}
+        flop_idx = {f.name: fi for fi, f in enumerate(netlist.flops)}
+        gate_mask = np.zeros(netlist.n_gates, dtype=bool)
+        flop_mask = np.zeros(netlist.n_flops, dtype=bool)
+        unknown = []
+        for name in names:
+            if name in gate_idx:
+                gate_mask[gate_idx[name]] = True
+            elif name in flop_idx:
+                flop_mask[flop_idx[name]] = True
+            else:
+                unknown.append(name)
+        if unknown:
+            raise SimulationError(
+                f"derates_from_ir: unknown instance name(s) "
+                f"{sorted(unknown)}"
+            )
+        gate_droop = np.where(gate_mask, gate_droop, 0.0)
+        flop_droop = np.where(flop_mask, flop_droop, 0.0)
+    gate = 1.0 + env.k_volt * np.clip(gate_droop, 0.0, None)
+    flop = 1.0 + env.k_volt * np.clip(flop_droop, 0.0, None)
     return gate, flop

@@ -1,0 +1,39 @@
+"""Noise-aware static timing safety bounds (`repro.timing`).
+
+A provably conservative droop-derated delay upper bound per pattern and
+per endpoint (:mod:`repro.timing.bound`), and the pre-screen that uses
+it to prune the IR-drop-scaled re-simulation
+(:mod:`repro.timing.prescreen`).
+"""
+
+from .bound import (
+    AT_RISK,
+    CLASSIFICATIONS,
+    INACTIVE,
+    SAFE_DERATED,
+    SAFE_STATIC,
+    DroopBoundAnalyzer,
+    DroopBoundReport,
+    EndpointBound,
+)
+from .prescreen import (
+    PrescreenedComparison,
+    TimingPrescreenSummary,
+    prescreen_pattern_set,
+    prescreened_endpoint_comparison,
+)
+
+__all__ = [
+    "AT_RISK",
+    "CLASSIFICATIONS",
+    "INACTIVE",
+    "SAFE_DERATED",
+    "SAFE_STATIC",
+    "DroopBoundAnalyzer",
+    "DroopBoundReport",
+    "EndpointBound",
+    "PrescreenedComparison",
+    "TimingPrescreenSummary",
+    "prescreen_pattern_set",
+    "prescreened_endpoint_comparison",
+]

@@ -1,0 +1,484 @@
+"""The droop-derated static delay upper bound (the noise-aware STA).
+
+The paper validates noise-tolerant patterns by re-simulating every
+endpoint with per-instance delays scaled by ``Delay * (1 + k_volt *
+dV)`` — the most expensive stage of the flow.  Most endpoints provably
+cannot miss the cycle even under *worst-case* droop; this module
+computes, per pattern and per endpoint, a delay upper bound that is
+**sound** against the IR-drop-scaled event simulation of
+:func:`repro.core.irscale.ir_scaled_endpoint_comparison`, so the
+re-simulation can be skipped wherever the bound already closes timing.
+
+Soundness chain (each link dominates the simulated quantity):
+
+1.  **Toggles.**  :class:`~repro.power.static_bound.StaticScapBound`'s
+    levelised toggle bound, seeded by the launch flops that actually
+    toggle (one zero-delay logic pass — *delay-independent*, so the
+    same flops launch in the nominal and the scaled simulation),
+    dominates every net's toggle count in either simulation.
+2.  **Currents.**  Net energy is ``toggles * C * VDD^2`` charged to the
+    driver's tap, averaged over the simulation's STW.  The bound uses
+    the toggle bound over the *smallest STW any of the seeds permits*
+    (the earliest seed launch event), plus the identical ungated
+    clock-tree baseline :func:`~repro.pgrid.dynamic_ir.
+    dynamic_ir_for_pattern` injects — so every tap's bound current
+    dominates its simulated current.
+3.  **Droop.**  Both rails are resistive meshes with grounded pads:
+    their conductance matrices are M-matrices, so the inverse is
+    elementwise non-negative and the node drop is monotone in the
+    injection — bound currents give bound droops, elementwise.
+4.  **Derates.**  ``1 + k_volt * dV`` is monotone in ``dV``; bound
+    droops give per-instance derate factors that dominate the factors
+    the scaled simulation applies.
+5.  **Arrival.**  A levelised static worst-arrival propagation with
+    dominating per-instance delays and the same seeds dominates the
+    event simulator's last data arrival at every endpoint.
+6.  **Measured delay.**  The paper measures endpoint delay against the
+    endpoint's *own* capture-clock arrival.  The scaled capture clock
+    is never faster than nominal (derates are >= 1), so ``static
+    arrival - nominal clock arrival`` dominates the measured scaled
+    delay.  An endpoint misses the cycle only when its measured delay
+    exceeds ``period - setup``; non-negative bound slack is therefore a
+    *proof* the endpoint captures correctly under this pattern's noise.
+
+The bound is pessimistic by design (toggle bounds grow
+multiplicatively with logic depth); its per-pattern tightening and the
+post-simulation derated re-analysis of
+:mod:`repro.timing.prescreen` are what make it a useful pre-screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from ..config import ElectricalEnv
+from ..errors import ConfigError
+from ..power.energy import clock_buffer_energies_fj
+from ..power.static_bound import StaticScapBound
+from ..sim.delays import DelayModel
+from ..sim.sta import SETUP_NS, StaticTimingAnalyzer
+from ..soc.design import SocDesign
+
+try:  # the grid is optional: without it only derated re-analysis works
+    from ..pgrid.grid import GridModel
+except Exception:  # pragma: no cover - scipy is a hard dep in practice
+    GridModel = None  # type: ignore[assignment,misc]
+
+#: Endpoint classifications, ordered from cheapest proof to none.
+INACTIVE = "inactive"
+SAFE_STATIC = "safe_static"
+SAFE_DERATED = "safe_derated"
+AT_RISK = "at_risk"
+
+CLASSIFICATIONS = (INACTIVE, SAFE_STATIC, SAFE_DERATED, AT_RISK)
+
+
+@dataclass
+class EndpointBound:
+    """The droop-derated delay bound at one capture flop."""
+
+    flop: int
+    flop_name: str
+    #: Upper bound on the measured (clock-relative) path delay, ns.
+    #: 0.0 for endpoints the pattern provably cannot activate.
+    measured_bound_ns: float
+    #: The miss threshold: ``period - setup`` (measured-delay domain).
+    limit_ns: float
+    classification: str
+
+    @property
+    def bound_slack_ns(self) -> float:
+        """How far the bound stays inside the cycle; >= 0 is a proof."""
+        return self.limit_ns - self.measured_bound_ns
+
+    @property
+    def provably_safe(self) -> bool:
+        return self.classification != AT_RISK
+
+
+@dataclass
+class DroopBoundReport:
+    """Per-endpoint droop-derated bounds for one pattern."""
+
+    domain: str
+    period_ns: float
+    pattern_index: int
+    endpoints: Dict[int, EndpointBound]
+    #: Worst-case total droop bound (VDD sag + VSS bounce) per block,
+    #: from the static current bound; empty when no grid was supplied.
+    block_droop_bound_v: Dict[str, float] = field(default_factory=dict)
+    #: Launch flops the zero-delay pass found toggling.
+    seeds: Set[int] = field(default_factory=set)
+
+    def counts(self) -> Dict[str, int]:
+        out = {c: 0 for c in CLASSIFICATIONS}
+        for ep in self.endpoints.values():
+            out[ep.classification] += 1
+        return out
+
+    def at_risk(self) -> List[int]:
+        """Endpoints still needing the IR-scaled re-simulation."""
+        return sorted(
+            fi
+            for fi, ep in self.endpoints.items()
+            if ep.classification == AT_RISK
+        )
+
+    def provably_safe(self) -> List[int]:
+        return sorted(
+            fi
+            for fi, ep in self.endpoints.items()
+            if ep.classification != AT_RISK
+        )
+
+    @property
+    def fully_safe(self) -> bool:
+        """True when no endpoint needs re-simulation."""
+        return not self.at_risk()
+
+    def worst_bound_slack_ns(self) -> float:
+        active = [
+            ep.bound_slack_ns
+            for ep in self.endpoints.values()
+            if ep.classification != INACTIVE
+        ]
+        return min(active) if active else float("inf")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "domain": self.domain,
+            "period_ns": self.period_ns,
+            "pattern_index": self.pattern_index,
+            "counts": self.counts(),
+            "worst_bound_slack_ns": (
+                None
+                if self.worst_bound_slack_ns() == float("inf")
+                else round(self.worst_bound_slack_ns(), 6)
+            ),
+            "block_droop_bound_v": {
+                b: round(v, 6)
+                for b, v in sorted(self.block_droop_bound_v.items())
+            },
+        }
+
+
+class DroopBoundAnalyzer:
+    """Noise-aware static timing bounds for one design + clock domain.
+
+    Composes :class:`~repro.power.static_bound.StaticScapBound` (toggle
+    and current bounds) with a derated
+    :class:`~repro.sim.sta.StaticTimingAnalyzer` sweep.  With a
+    :class:`~repro.pgrid.grid.GridModel` the fully static
+    :meth:`pattern_bounds` needs **zero simulation**; without one, only
+    :meth:`derated_bounds` (re-analysis under a given IR field) is
+    available.
+    """
+
+    def __init__(
+        self,
+        design: SocDesign,
+        domain: Optional[str] = None,
+        model: Optional["GridModel"] = None,
+        env: Optional[ElectricalEnv] = None,
+        delays: Optional[DelayModel] = None,
+        setup_ns: float = SETUP_NS,
+    ) -> None:
+        self.design = design
+        self.domain = (
+            domain if domain is not None else design.dominant_domain()
+        )
+        if self.domain not in design.domains:
+            raise ConfigError(f"unknown domain {self.domain!r}")
+        self.model = model
+        self.env = env if env is not None else ElectricalEnv()
+        self.period_ns = design.domains[self.domain].period_ns
+        self.setup_ns = setup_ns
+        self.delays = (
+            delays
+            if delays is not None
+            else DelayModel(design.netlist, design.parasitics)
+        )
+        self.scap = StaticScapBound(
+            design, self.domain, vdd=self.env.vdd, delays=self.delays
+        )
+        self.sta = StaticTimingAnalyzer(
+            design.netlist,
+            self.delays,
+            design.clock_trees[self.domain],
+            self.period_ns,
+            self.domain,
+            setup_ns=setup_ns,
+        )
+        #: The miss threshold in the measured-delay domain.
+        self.limit_ns = self.period_ns - setup_ns
+        self._tree = design.clock_trees[self.domain]
+        self._insertion: Dict[int, float] = {
+            fi: self._tree.insertion_delay_ns(fi)
+            for fi in self.scap.launch_time_ns
+        }
+
+    # ------------------------------------------------------------------
+    # static droop bound (link 2 + 3 of the soundness chain)
+    # ------------------------------------------------------------------
+    def droop_bounds_v(
+        self, seeds: Optional[Set[int]] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Worst-case droop bound per instance from the current bound.
+
+        Returns ``(gate_droop, flop_droop, node_total)`` in volts —
+        each entry dominates what
+        :func:`~repro.pgrid.dynamic_ir.dynamic_ir_for_pattern` computes
+        for any pattern whose toggling launch flops are a subset of
+        *seeds* (default: every launch-capable flop).
+        """
+        model = self._require_model()
+        netlist = self.design.netlist
+        n_nodes = model.vdd_grid.n_nodes
+        node_power_mw = np.zeros(n_nodes)
+        flop_ids = (
+            self.scap.launch_time_ns if seeds is None else seeds
+        )
+        if flop_ids:
+            bound = self.scap.toggle_bounds(
+                None if seeds is None else seeds
+            )
+            # The simulated STW is the last applied-transition time and
+            # the first applied transition is a seed launch event, so
+            # the seeds' earliest launch time floors every STW.
+            floor_ns = min(
+                self.scap.launch_time_ns[fi] for fi in flop_ids
+            )
+            energy_fj = bound * self.scap.energy_of_net_fj
+            for net in np.nonzero(energy_fj)[0]:
+                node = model.net_node[net]
+                if node >= 0:
+                    node_power_mw[node] += (
+                        float(energy_fj[net]) / floor_ns * 1e-3
+                    )
+        # Identical ungated clock baseline to dynamic_ir_for_pattern:
+        # pattern-independent, so equality (not just dominance).
+        clock_window_ns = self.period_ns / 2.0
+        energies = clock_buffer_energies_fj(
+            self._tree, self.env.vdd, edges=1
+        )
+        nodes = model.clock_nodes[self.domain]
+        for bi, energy in energies.items():
+            node_power_mw[nodes[bi]] += energy / clock_window_ns * 1e-3
+        injection = model.injection_from_node_power(
+            node_power_mw, self.env.vdd
+        )
+        drop_vdd, drop_vss = model.solve_both(injection)
+        total = drop_vdd + drop_vss
+        return total[model.gate_node], total[model.flop_node], total
+
+    def block_droop_bounds_v(
+        self, seeds: Optional[Set[int]] = None
+    ) -> Dict[str, float]:
+        """Worst-case per-block total droop bound (volts)."""
+        model = self._require_model()
+        _, _, total = self.droop_bounds_v(seeds)
+        return {
+            block: model.worst_in_block(total, block)
+            for block in self.design.blocks()
+        }
+
+    # ------------------------------------------------------------------
+    # per-pattern bounds (the tentpole analysis)
+    # ------------------------------------------------------------------
+    def pattern_bounds(
+        self,
+        v1: Dict[int, int],
+        index: int = 0,
+        endpoints: Optional[Iterable[Union[int, str]]] = None,
+    ) -> DroopBoundReport:
+        """Fully static droop-derated bound for one pattern.
+
+        One zero-delay logic pass identifies the toggling launch flops;
+        the droop bound, derates and arrival bound are all seeded by
+        exactly that set.  Endpoints the seeds cannot reach are
+        *inactive* (their measured delay is 0 in both simulations);
+        endpoints whose bound slack stays non-negative are
+        *safe_static*; the rest are *at_risk* pending the derated
+        re-analysis or the full re-simulation.
+        """
+        wanted = self._resolve_endpoints(endpoints)
+        seeds = self.scap.toggling_launch_flops(v1)
+        block_droops: Dict[str, float] = {}
+        if not seeds:
+            report = self._all_inactive(index, wanted)
+        else:
+            gate_droop, flop_droop, total = self.droop_bounds_v(seeds)
+            model = self._require_model()
+            block_droops = {
+                block: model.worst_in_block(total, block)
+                for block in self.design.blocks()
+            }
+            gate_derate = 1.0 + self.env.k_volt * np.clip(
+                gate_droop, 0.0, None
+            )
+            flop_derate = 1.0 + self.env.k_volt * np.clip(
+                flop_droop, 0.0, None
+            )
+            report = self._classify(
+                seeds, gate_derate, flop_derate, SAFE_STATIC, index,
+                wanted,
+            )
+        report.block_droop_bound_v = block_droops
+        return report
+
+    def derated_bounds(
+        self,
+        seeds: Set[int],
+        gate_derate: np.ndarray,
+        flop_derate: np.ndarray,
+        index: int = 0,
+        endpoints: Optional[Iterable[Union[int, str]]] = None,
+    ) -> DroopBoundReport:
+        """Bound under explicit per-instance derates (e.g. from the
+        pattern's own simulated IR field via
+        :func:`~repro.sim.sta.derates_from_ir`).
+
+        Sound against the scaled re-simulation of the *same* IR field:
+        the zero-delay launch set is delay-independent, so the scaled
+        simulation launches exactly *seeds*, and a static worst-arrival
+        sweep with the identical derated delays dominates it.
+        """
+        wanted = self._resolve_endpoints(endpoints)
+        seed_set = set(seeds)
+        if not seed_set:
+            return self._all_inactive(index, wanted)
+        return self._classify(
+            seed_set, gate_derate, flop_derate, SAFE_DERATED, index,
+            wanted,
+        )
+
+    # ------------------------------------------------------------------
+    def _classify(
+        self,
+        seeds: Set[int],
+        gate_derate: np.ndarray,
+        flop_derate: np.ndarray,
+        safe_label: str,
+        index: int,
+        wanted: Optional[Set[int]],
+    ) -> DroopBoundReport:
+        unknown = seeds - set(self.scap.launch_time_ns)
+        if unknown:
+            raise ConfigError(
+                f"seed flops {sorted(unknown)} are not launch-capable "
+                f"in domain {self.domain!r}"
+            )
+        sta_report = self.sta.analyze(
+            gate_derate=gate_derate,
+            flop_derate=flop_derate,
+            launch_flops=sorted(seeds),
+        )
+        reached = {e.flop: e for e in sta_report.endpoints}
+        netlist = self.design.netlist
+        endpoints: Dict[int, EndpointBound] = {}
+        for fi in self.scap.launch_time_ns:
+            if wanted is not None and fi not in wanted:
+                continue
+            timing = reached.get(fi)
+            if timing is None:
+                # No structural path from any seed: the event simulator
+                # (nominal or scaled) can never apply a transition at
+                # this D pin, so its measured delay is exactly 0.
+                endpoints[fi] = EndpointBound(
+                    flop=fi,
+                    flop_name=netlist.flops[fi].name,
+                    measured_bound_ns=0.0,
+                    limit_ns=self.limit_ns,
+                    classification=INACTIVE,
+                )
+                continue
+            measured = timing.arrival_ns - self._insertion[fi]
+            endpoints[fi] = EndpointBound(
+                flop=fi,
+                flop_name=netlist.flops[fi].name,
+                measured_bound_ns=measured,
+                limit_ns=self.limit_ns,
+                classification=(
+                    safe_label if measured <= self.limit_ns else AT_RISK
+                ),
+            )
+        return DroopBoundReport(
+            domain=self.domain,
+            period_ns=self.period_ns,
+            pattern_index=index,
+            endpoints=endpoints,
+            seeds=set(seeds),
+        )
+
+    def _all_inactive(
+        self, index: int, wanted: Optional[Set[int]]
+    ) -> DroopBoundReport:
+        netlist = self.design.netlist
+        return DroopBoundReport(
+            domain=self.domain,
+            period_ns=self.period_ns,
+            pattern_index=index,
+            endpoints={
+                fi: EndpointBound(
+                    flop=fi,
+                    flop_name=netlist.flops[fi].name,
+                    measured_bound_ns=0.0,
+                    limit_ns=self.limit_ns,
+                    classification=INACTIVE,
+                )
+                for fi in self.scap.launch_time_ns
+                if wanted is None or fi in wanted
+            },
+            seeds=set(),
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_endpoints(
+        self, endpoints: Optional[Iterable[Union[int, str]]]
+    ) -> Optional[Set[int]]:
+        """Validate an explicit endpoint selection (ids or flop names).
+
+        ``None`` means every launch-capable endpoint; an empty or
+        unknown selection is a caller bug and fails with a one-line
+        error instead of silently bounding nothing.
+        """
+        if endpoints is None:
+            return None
+        requested = list(endpoints)
+        if not requested:
+            raise ConfigError(
+                "empty endpoint selection — pass None to bound every "
+                "endpoint of the domain"
+            )
+        netlist = self.design.netlist
+        by_name = {f.name: fi for fi, f in enumerate(netlist.flops)}
+        resolved: Set[int] = set()
+        unknown: List[str] = []
+        for item in requested:
+            fi = by_name.get(item) if isinstance(item, str) else item
+            if fi is None or not isinstance(fi, int):
+                unknown.append(repr(item))
+            elif fi not in self.scap.launch_time_ns:
+                unknown.append(
+                    f"{item!r} (not a launch-capable endpoint of "
+                    f"domain {self.domain!r})"
+                )
+            else:
+                resolved.add(fi)
+        if unknown:
+            raise ConfigError(
+                f"unknown endpoint(s): {', '.join(sorted(unknown))}"
+            )
+        return resolved
+
+    def _require_model(self) -> "GridModel":
+        if self.model is None:
+            raise ConfigError(
+                "the static droop bound needs a power-grid model — "
+                "construct DroopBoundAnalyzer(model=GridModel...) or "
+                "use derated_bounds() with an explicit IR field"
+            )
+        return self.model

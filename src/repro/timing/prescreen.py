@@ -1,0 +1,392 @@
+"""The noise-aware timing pre-screen: prove endpoints safe, skip Case 2.
+
+:func:`prescreened_endpoint_comparison` is the drop-in, bound-gated
+version of :func:`~repro.core.irscale.ir_scaled_endpoint_comparison`.
+Per pattern it runs up to three tiers, each strictly cheaper than the
+stage it can avoid:
+
+* **Tier A (fully static, zero simulation)** — the worst-case droop
+  bound of :class:`~repro.timing.bound.DroopBoundAnalyzer`, tightened
+  by one zero-delay logic pass.  A pattern whose every endpoint is
+  proven safe or inactive here skips *both* simulations.
+* **Tier B (nominal simulation only)** — the nominal event simulation
+  and its dynamic IR solve (Case 1, which the full comparison pays
+  anyway), then a derated static re-analysis under the *actual* droop
+  field via :func:`~repro.sim.sta.derates_from_ir`.  Far tighter than
+  Tier A; endpoints proven safe here skip the Case-2 scaled event
+  re-simulation.
+* **Tier C (the full comparison)** — only endpoints still *at_risk*
+  are settled by the IR-scaled re-simulation itself.
+
+Every skip is backed by the soundness chain documented in
+:mod:`repro.timing.bound`; :func:`prescreen_pattern_set` additionally
+*audits* the inequality empirically (bound >= simulated IR-scaled
+delay, like the PWR-SCAP bound's tests) on a configurable sample of
+patterns and reports the result for the flow's ``timing`` stage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import ElectricalEnv
+from ..core.irscale import (
+    IrScaledComparison,
+    ir_nominal_case,
+    ir_scaled_case,
+)
+from ..errors import ConfigError
+from ..obs import current_telemetry
+from ..pgrid.grid import GridModel
+from ..power.calculator import ScapCalculator
+from ..sim.sta import derates_from_ir
+from .bound import (
+    AT_RISK,
+    CLASSIFICATIONS,
+    INACTIVE,
+    SAFE_DERATED,
+    SAFE_STATIC,
+    DroopBoundAnalyzer,
+    DroopBoundReport,
+    EndpointBound,
+)
+
+
+@dataclass
+class PrescreenedComparison:
+    """Outcome of the bound-gated two-case comparison for one pattern."""
+
+    report: DroopBoundReport
+    #: Case-1 measured delays; None when Tier A proved the whole
+    #: pattern safe and no simulation ran at all.
+    nominal_ns: Optional[Dict[int, float]] = None
+    #: Case-2 measured delays; None when the scaled re-simulation was
+    #: skipped (every endpoint proven safe or inactive).
+    scaled_ns: Optional[Dict[int, float]] = None
+    #: The classic comparison object, populated only when Case 2 ran.
+    comparison: Optional[IrScaledComparison] = None
+
+    @property
+    def skipped_all_simulation(self) -> bool:
+        return self.nominal_ns is None
+
+    @property
+    def skipped_scaled_sim(self) -> bool:
+        return self.scaled_ns is None
+
+    def misses(self) -> List[int]:
+        """Endpoints whose IR-scaled delay misses the cycle.
+
+        Endpoints proven safe contribute nothing by the soundness of
+        the bound; at-risk endpoints are judged by their actual scaled
+        re-simulation.
+        """
+        out: List[int] = []
+        for fi in self.report.at_risk():
+            ep = self.report.endpoints[fi]
+            scaled = (self.scaled_ns or {}).get(fi, 0.0)
+            if scaled > ep.limit_ns:
+                out.append(fi)
+        return out
+
+    def soundness_violations(self) -> List[Dict[str, Any]]:
+        """Empirical check of the bound against whatever was simulated.
+
+        For every endpoint with a simulated IR-scaled delay, the bound
+        must dominate it (and the nominal delay, since derates are
+        >= 1).  Returns one record per violated endpoint — always
+        expected empty; asserted by the tests and the audit pass.
+        """
+        out: List[Dict[str, Any]] = []
+        for fi, ep in self.report.endpoints.items():
+            for kind, delays in (
+                ("scaled", self.scaled_ns),
+                ("nominal", self.nominal_ns),
+            ):
+                if delays is None or fi not in delays:
+                    continue
+                simulated = delays[fi]
+                bound = ep.measured_bound_ns
+                if simulated > bound + 1e-9:
+                    out.append(
+                        {
+                            "endpoint": fi,
+                            "simulated_ns": simulated,
+                            "bound_ns": bound,
+                            "kind": kind,
+                        }
+                    )
+        return out
+
+
+def prescreened_endpoint_comparison(
+    calculator: ScapCalculator,
+    model: GridModel,
+    pattern: Any,
+    index: Optional[int] = None,
+    env: Optional[ElectricalEnv] = None,
+    analyzer: Optional[DroopBoundAnalyzer] = None,
+    static_tier: bool = True,
+) -> PrescreenedComparison:
+    """Bound-gated replacement for ``ir_scaled_endpoint_comparison``.
+
+    Identical verdicts (which endpoints miss the cycle, and the exact
+    scaled delays of every endpoint that needed re-simulation), but
+    provably-safe endpoints are settled by static analysis instead of
+    simulation.  Pass a shared *analyzer* when screening many patterns
+    so the grid factorisation and STA structures are built once;
+    ``static_tier=False`` skips Tier A (useful when the worst-case
+    droop bound is known to be too loose to certify anything).
+    """
+    if env is None:
+        env = ElectricalEnv()
+    if isinstance(pattern, dict):
+        v1, idx = pattern, index if index is not None else 0
+    else:
+        v1, idx = pattern.v1_dict(), pattern.index
+    if analyzer is None:
+        analyzer = DroopBoundAnalyzer(
+            calculator.design,
+            calculator.domain,
+            model=model,
+            env=env,
+            delays=calculator.delays,
+        )
+    tel = current_telemetry()
+
+    # Tier A: zero-simulation worst-case droop bound.
+    tier_a: Optional[DroopBoundReport] = None
+    if static_tier:
+        tier_a = analyzer.pattern_bounds(v1, idx)
+        if tier_a.fully_safe:
+            tel.count("timing.patterns_static_safe")
+            return PrescreenedComparison(report=tier_a)
+        seeds = tier_a.seeds
+    else:
+        seeds = analyzer.scap.toggling_launch_flops(v1)
+
+    # Tier B: Case 1 (paid by the full comparison too) + derated STA
+    # under the pattern's actual droop field.
+    _timing, ir, nominal_delays = ir_nominal_case(calculator, model, v1)
+    gate_derate, flop_derate = derates_from_ir(ir, env)
+    tier_b = analyzer.derated_bounds(seeds, gate_derate, flop_derate, idx)
+    report = _merge(tier_a, tier_b)
+    if report.fully_safe:
+        tel.count("timing.patterns_derated_safe")
+        return PrescreenedComparison(report=report, nominal_ns=nominal_delays)
+
+    # Tier C: the scaled re-simulation, for the holdouts only.
+    tel.count("timing.patterns_resimulated")
+    scaled_delays = ir_scaled_case(calculator, model, v1, ir, env)
+    comparison = IrScaledComparison(
+        pattern_index=idx,
+        nominal_ns=nominal_delays,
+        scaled_ns=scaled_delays,
+        ir=ir,
+    )
+    return PrescreenedComparison(
+        report=report,
+        nominal_ns=nominal_delays,
+        scaled_ns=scaled_delays,
+        comparison=comparison,
+    )
+
+
+def _merge(
+    tier_a: Optional[DroopBoundReport], tier_b: DroopBoundReport
+) -> DroopBoundReport:
+    """Combine the static and derated bounds, endpoint by endpoint.
+
+    Both are sound upper bounds, so the minimum is too; an endpoint is
+    safe as soon as either tier proves it (labelled by the cheaper
+    proof that succeeded).
+    """
+    if tier_a is None:
+        return tier_b
+    endpoints: Dict[int, EndpointBound] = {}
+    for fi, a in tier_a.endpoints.items():
+        b = tier_b.endpoints.get(fi, a)
+        if a.classification in (INACTIVE, SAFE_STATIC):
+            endpoints[fi] = a
+            continue
+        bound = min(a.measured_bound_ns, b.measured_bound_ns)
+        if b.classification in (INACTIVE, SAFE_DERATED):
+            label = b.classification
+        else:
+            label = AT_RISK
+        endpoints[fi] = EndpointBound(
+            flop=fi,
+            flop_name=a.flop_name,
+            measured_bound_ns=bound,
+            limit_ns=a.limit_ns,
+            classification=label,
+        )
+    merged = DroopBoundReport(
+        domain=tier_a.domain,
+        period_ns=tier_a.period_ns,
+        pattern_index=tier_a.pattern_index,
+        endpoints=endpoints,
+        block_droop_bound_v=dict(tier_a.block_droop_bound_v),
+        seeds=set(tier_a.seeds),
+    )
+    return merged
+
+
+@dataclass
+class TimingPrescreenSummary:
+    """Aggregate pre-screen outcome over a pattern set (flow stage)."""
+
+    domain: str
+    period_ns: float
+    n_patterns: int = 0
+    endpoint_counts: Dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in CLASSIFICATIONS}
+    )
+    #: Patterns settled with zero / Case-1-only / full simulation.
+    patterns_static_safe: int = 0
+    patterns_derated_safe: int = 0
+    patterns_resimulated: int = 0
+    #: (pattern, endpoint) misses found among at-risk endpoints.
+    misses: List[Tuple[int, int]] = field(default_factory=list)
+    #: Empirical bound-vs-simulation audit.
+    soundness_checked: int = 0
+    soundness_violations: int = 0
+    worst_bound_slack_ns: float = float("inf")
+    elapsed_s: float = 0.0
+
+    @property
+    def endpoints_total(self) -> int:
+        return sum(self.endpoint_counts.values())
+
+    @property
+    def pruned_endpoint_fraction(self) -> float:
+        """Fraction of endpoint measurements settled without the
+        IR-scaled re-simulation."""
+        total = self.endpoints_total
+        if total == 0:
+            return 0.0
+        return 1.0 - self.endpoint_counts[AT_RISK] / total
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "domain": self.domain,
+            "period_ns": self.period_ns,
+            "n_patterns": self.n_patterns,
+            "endpoints_total": self.endpoints_total,
+            "endpoint_counts": dict(self.endpoint_counts),
+            "patterns_static_safe": self.patterns_static_safe,
+            "patterns_derated_safe": self.patterns_derated_safe,
+            "patterns_resimulated": self.patterns_resimulated,
+            "pruned_endpoint_fraction": round(
+                self.pruned_endpoint_fraction, 6
+            ),
+            "misses": [list(m) for m in self.misses],
+            "soundness_checked": self.soundness_checked,
+            "soundness_violations": self.soundness_violations,
+            "worst_bound_slack_ns": (
+                None
+                if self.worst_bound_slack_ns == float("inf")
+                else round(self.worst_bound_slack_ns, 6)
+            ),
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+
+def prescreen_pattern_set(
+    calculator: ScapCalculator,
+    model: GridModel,
+    patterns: Any,
+    env: Optional[ElectricalEnv] = None,
+    max_patterns: Optional[int] = None,
+    static_tier: bool = True,
+    audit_patterns: int = 3,
+) -> TimingPrescreenSummary:
+    """Screen every pattern of a set, collecting the flow-stage digest.
+
+    *audit_patterns* leading patterns additionally run the full
+    IR-scaled re-simulation regardless of their classification, so the
+    summary carries an empirical soundness check (bound >= simulated
+    IR-scaled delay for every audited endpoint) exactly like the
+    PWR-SCAP bound's validation — without paying full simulation for
+    the whole set.
+    """
+    if env is None:
+        env = ElectricalEnv()
+    if max_patterns is not None and max_patterns <= 0:
+        raise ConfigError("max_patterns must be positive")
+    analyzer = DroopBoundAnalyzer(
+        calculator.design,
+        calculator.domain,
+        model=model,
+        env=env,
+        delays=calculator.delays,
+    )
+    summary = TimingPrescreenSummary(
+        domain=calculator.domain, period_ns=calculator.period_ns
+    )
+    tel = current_telemetry()
+    started = time.time()
+    with tel.span("timing.prescreen", domain=calculator.domain):
+        for pi, pattern in enumerate(patterns):
+            if max_patterns is not None and pi >= max_patterns:
+                break
+            result = prescreened_endpoint_comparison(
+                calculator,
+                model,
+                pattern,
+                index=pi,
+                env=env,
+                analyzer=analyzer,
+                static_tier=static_tier,
+            )
+            summary.n_patterns += 1
+            counts = result.report.counts()
+            for label, n in counts.items():
+                summary.endpoint_counts[label] += n
+            if result.skipped_all_simulation:
+                summary.patterns_static_safe += 1
+            elif result.skipped_scaled_sim:
+                summary.patterns_derated_safe += 1
+            else:
+                summary.patterns_resimulated += 1
+            worst = result.report.worst_bound_slack_ns()
+            if worst < summary.worst_bound_slack_ns:
+                summary.worst_bound_slack_ns = worst
+            for fi in result.misses():
+                summary.misses.append((pi, fi))
+
+            # Audit pass: simulate anyway and verify the inequality.
+            if pi < audit_patterns:
+                audited = result
+                if audited.scaled_ns is None:
+                    v1 = (
+                        pattern
+                        if isinstance(pattern, dict)
+                        else pattern.v1_dict()
+                    )
+                    _t, ir, nominal = ir_nominal_case(
+                        calculator, model, v1
+                    )
+                    audited = PrescreenedComparison(
+                        report=result.report,
+                        nominal_ns=nominal,
+                        scaled_ns=ir_scaled_case(
+                            calculator, model, v1, ir, env
+                        ),
+                    )
+                violations = audited.soundness_violations()
+                summary.soundness_checked += len(
+                    audited.scaled_ns or {}
+                )
+                summary.soundness_violations += len(violations)
+                if violations:
+                    tel.count(
+                        "timing.soundness_violations", len(violations)
+                    )
+    summary.elapsed_s = time.time() - started
+    tel.count("timing.endpoints_pruned",
+              summary.endpoints_total
+              - summary.endpoint_counts[AT_RISK])
+    return summary

@@ -253,11 +253,13 @@ class TestClockingRules:
 
 
 class TestRegistryAndReport:
-    def test_registry_covers_four_families(self):
+    def test_registry_covers_five_families(self):
         reg = default_registry()
         families = {r.family for r in reg.rules()}
-        assert families == {"structural", "scan", "clocking", "power"}
-        assert len(reg) >= 12
+        assert families == {
+            "structural", "scan", "clocking", "power", "timing",
+        }
+        assert len(reg) >= 16
 
     def test_family_filter(self):
         report = run_drc(
@@ -436,3 +438,177 @@ class TestVerilogChainPragma:
         report = _run(parse_verilog(io.StringIO(buf.getvalue())))
         assert "SCN-CHAIN" in report.rules_run
         assert report.is_clean("error")
+
+
+# ----------------------------------------------------------------------
+# timing rule family (TIM-*)
+# ----------------------------------------------------------------------
+def uncon_endpoint() -> Netlist:
+    """A scan flop whose D cone is fed only by a primary input."""
+    nl = _base("has_uncon")
+    q0 = nl.add_net("q0")
+    d0 = nl.add_net("d0")
+    nl.add_gate("u_d0", "INVX1", [0], d0)  # net 0 is PI "a"
+    f0 = nl.add_flop("f0", "SDFFX1", d=d0, q=q0,
+                     clock_domain="clka", is_scan=True)
+    nl.flops[f0].chain, nl.flops[f0].chain_pos = 0, 0
+    nl.add_primary_output(q0)
+    return nl
+
+
+def launched_endpoint() -> Netlist:
+    """Two scan flops, the second launched by the first."""
+    nl = _base("has_launch")
+    q0 = nl.add_net("q0")
+    q1 = nl.add_net("q1")
+    d0 = nl.add_net("d0")
+    d1 = nl.add_net("d1")
+    nl.add_gate("u_d0", "INVX1", [0], d0)
+    nl.add_gate("u_d1", "INVX1", [q0], d1)
+    f0 = nl.add_flop("f0", "SDFFX1", d=d0, q=q0,
+                     clock_domain="clka", is_scan=True)
+    f1 = nl.add_flop("f1", "SDFFX1", d=d1, q=q1,
+                     clock_domain="clka", is_scan=True)
+    nl.flops[f0].chain, nl.flops[f0].chain_pos = 0, 0
+    nl.flops[f1].chain, nl.flops[f1].chain_pos = 0, 1
+    nl.add_primary_output(q1)
+    return nl
+
+
+def _fast_domain(design, name: str, freq_mhz: float):
+    """Swap one clock domain for an impossibly fast copy."""
+    from repro.soc.clocks import ClockDomainSpec
+
+    old = design.domains[name]
+    design.domains[name] = ClockDomainSpec(
+        name=name, freq_mhz=freq_mhz, blocks=old.blocks
+    )
+    return design
+
+
+class TestTimingRules:
+    def test_clean_design_reports_closure(self):
+        design = build_turbo_eagle("tiny", seed=3)
+        report = run_drc(
+            DrcContext.for_design(design), families=["timing"]
+        )
+        assert set(report.rules_run) == {
+            "TIM-SLACK", "TIM-MARGIN", "TIM-UNCON",
+        }
+        assert report.rules_skipped["TIM-DROOP"] == "no power-grid model"
+        closures = report.by_rule("TIM-SLACK")
+        assert closures and all(v.severity == INFO for v in closures)
+        assert all("timing closed" in v.message for v in closures)
+
+    def test_droop_rule_needs_grid(self):
+        from repro.pgrid import GridModel
+
+        design = build_turbo_eagle("tiny", seed=3)
+        model = GridModel.calibrated(design, nx=12, ny=12)
+        ctx = DrcContext.for_design(design, grid=model)
+        report = run_drc(ctx, families=["timing"])
+        assert "TIM-DROOP" in report.rules_run
+        droop = report.by_rule("TIM-DROOP")
+        assert droop, "TIM-DROOP reported nothing"
+        # every domain gets exactly one summary finding
+        assert len(droop) == len(
+            {v.location["domain"] for v in droop}
+        )
+
+    def test_slack_errors_on_impossible_period(self):
+        design = _fast_domain(
+            build_turbo_eagle("tiny", seed=3), "clka", 5000.0
+        )
+        report = run_drc(
+            DrcContext.for_design(design), families=["timing"]
+        )
+        errors = [
+            v for v in report.by_rule("TIM-SLACK")
+            if v.severity == ERROR
+        ]
+        assert errors
+        assert all(v.location["slack_ns"] < 0 for v in errors)
+        assert report.gating_violations("error")
+
+    def test_slack_errors_waivable(self):
+        design = _fast_domain(
+            build_turbo_eagle("tiny", seed=3), "clka", 5000.0
+        )
+        waivers = WaiverSet.from_dict(
+            {"waivers": [{"rule": "TIM-SLACK", "reason": "bring-up"}]}
+        )
+        report = run_drc(
+            DrcContext.for_design(design), families=["timing"],
+            waivers=waivers,
+        )
+        assert not report.gating_violations("error")
+
+    def test_margin_guard_band(self):
+        design = build_turbo_eagle("tiny", seed=3)
+        # Huge guard band: every closing endpoint is inside it.
+        wide = run_drc(
+            DrcContext.for_design(design, timing_guard_band_ns=1e6),
+            families=["timing"],
+        )
+        assert wide.by_rule("TIM-MARGIN")
+        # Zero guard band: nothing can sit inside it.
+        none = run_drc(
+            DrcContext.for_design(design, timing_guard_band_ns=0.0),
+            families=["timing"],
+        )
+        assert not none.by_rule("TIM-MARGIN")
+
+    def test_uncon_flags_pi_only_cone(self):
+        report = run_drc(
+            DrcContext.for_netlist(uncon_endpoint()),
+            families=["timing"],
+        )
+        uncon = report.by_rule("TIM-UNCON")
+        assert len(uncon) == 1
+        assert uncon[0].location["flop_name"] == "f0"
+        # ... and a launched endpoint is not flagged
+        report2 = run_drc(
+            DrcContext.for_netlist(launched_endpoint()),
+            families=["timing"],
+        )
+        flagged = {
+            v.location["flop_name"]
+            for v in report2.by_rule("TIM-UNCON")
+        }
+        assert "f1" not in flagged
+
+    def test_bare_netlist_skips_design_rules(self):
+        report = run_drc(
+            DrcContext.for_netlist(uncon_endpoint()),
+            families=["timing"],
+        )
+        assert report.rules_run == ["TIM-UNCON"]
+        for rule_id in ("TIM-SLACK", "TIM-MARGIN", "TIM-DROOP"):
+            assert rule_id in report.rules_skipped
+
+    def test_timing_findings_json_roundtrip(self, tmp_path):
+        design = _fast_domain(
+            build_turbo_eagle("tiny", seed=3), "clka", 5000.0
+        )
+        report = run_drc(
+            DrcContext.for_design(design), families=["timing"]
+        )
+        path = tmp_path / "tim.json"
+        report.save(str(path))
+        data = json.loads(path.read_text())
+        assert any(
+            v["rule_id"] == "TIM-SLACK" and v["severity"] == ERROR
+            for v in data["violations"]
+        )
+
+    def test_flow_gate_ignores_timing_family(self):
+        # The pre-flow gate runs structural/scan/clocking only: a
+        # timing-broken (but structurally clean) design still flows.
+        from repro.core.flow import run_drc_gate
+
+        design = _fast_domain(
+            build_turbo_eagle("tiny", seed=3), "clka", 5000.0
+        )
+        report = run_drc_gate(design)
+        assert report.is_clean("error")
+        assert "TIM-SLACK" not in report.rules_run
