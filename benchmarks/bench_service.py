@@ -11,12 +11,19 @@ Measured on one tiny job (three shards):
 * ``inline``   — submit + ``ServiceClient.wait`` draining the job in
   the client process (the graceful-degradation path);
 * ``workers1/2/4`` — submit + a supervised worker fleet, end to end
-  (process spawn, claim, per-shard flow, fenced commit).
+  (process spawn, claim, per-shard flow, fenced commit);
+* ``http``     — submit over the wire to a live :mod:`repro.service.http`
+  server with an in-process tenant fleet: the full stack of request
+  parsing, JSON marshalling, ``asyncio.to_thread`` hops and
+  poll-with-backoff waiting, plus a request-throughput probe against
+  ``GET /healthz``.
 
-Gate: the inline service path must stay within ``MAX_INLINE_OVERHEAD``
-of the in-process flow — the durability machinery may not dominate
-even the smallest real job.  (Worker-fleet latency includes Python
-interpreter spawns per worker and is reported, not gated.)
+Gates: the inline service path must stay within
+``MAX_INLINE_OVERHEAD`` of the in-process flow, and the HTTP path
+within ``MAX_HTTP_OVERHEAD`` of the *inline* path — the wire adapter
+may not dominate the durability machinery it fronts.  (Worker-fleet
+latency includes Python interpreter spawns per worker and is reported,
+not gated.)
 
 Emits machine-readable ``BENCH_service.json`` at the repo root.
 """
@@ -46,6 +53,12 @@ _OUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
 #: 3x leaves headroom for CI noise while still catching a regression
 #: that makes the bookkeeping dominate.
 MAX_INLINE_OVERHEAD = 3.0
+
+#: HTTP submit→done may be at most this multiple of the inline path.
+#: The wire adds per-poll TCP connections and JSON/pickle marshalling
+#: around the same execution engine; on a seconds-long job that should
+#: be close to 1x, with 3.0x as the regression tripwire.
+MAX_HTTP_OVERHEAD = 3.0
 
 
 def _run_inproc() -> tuple[float, np.ndarray]:
@@ -92,10 +105,45 @@ def _throughput_fleet(tmp: Path, n_workers: int, n_jobs: int) -> float:
     return time.perf_counter() - t0
 
 
+def _run_http(tmp: Path) -> tuple[float, float, np.ndarray]:
+    """Submit→done over the wire; also probes request throughput.
+
+    Returns ``(job_elapsed_s, healthz_rps, matrix)``.
+    """
+    from repro.service import (
+        HttpServerThread,
+        HttpServiceClient,
+        TenantFleet,
+        TenantManager,
+    )
+
+    tenants = TenantManager(str(tmp / "http"))
+    fleet = TenantFleet(tenants, n_workers=0)
+    with HttpServerThread(tenants, fleet=fleet) as srv:
+        client = HttpServiceClient(srv.base_url, tenant="bench")
+        t0 = time.perf_counter()
+        job_id = client.submit(JobSpec(scale="tiny"))
+        client.wait(job_id, timeout_s=600)
+        elapsed = time.perf_counter() - t0
+        matrix = client.result(job_id)["matrix"]
+        # request throughput: healthz round trips, fresh connection
+        # each (the client's per-request model), for one second
+        n_requests = 0
+        t1 = time.perf_counter()
+        while time.perf_counter() - t1 < 1.0:
+            client.healthz()
+            n_requests += 1
+        rps = n_requests / (time.perf_counter() - t1)
+    return elapsed, rps, matrix
+
+
 def test_service_overhead_bounded(tmp_path):
     inproc_s, reference = _run_inproc()
     inline_s, inline_matrix = _run_inline(tmp_path)
     assert np.array_equal(inline_matrix, reference)
+
+    http_s, http_rps, http_matrix = _run_http(tmp_path)
+    assert np.array_equal(http_matrix, reference)
 
     fleet: dict[int, float] = {}
     for n_workers in (1, 2, 4):
@@ -108,18 +156,23 @@ def test_service_overhead_bounded(tmp_path):
     tp_parallel_s = _throughput_fleet(tmp_path, 4, n_jobs)
 
     inline_overhead = inline_s / max(1e-9, inproc_s)
+    http_overhead = http_s / max(1e-9, inline_s)
     payload = {
         "design": "turbo_eagle_tiny",
         "shards_per_job": 3,
         "latency_s": {
             "inproc": round(inproc_s, 3),
             "inline": round(inline_s, 3),
+            "http": round(http_s, 3),
             **{
                 f"workers{n}": round(s, 3) for n, s in fleet.items()
             },
         },
         "inline_overhead_x": round(inline_overhead, 3),
         "max_inline_overhead_x": MAX_INLINE_OVERHEAD,
+        "http_overhead_x": round(http_overhead, 3),
+        "max_http_overhead_x": MAX_HTTP_OVERHEAD,
+        "http_healthz_rps": round(http_rps, 1),
         "throughput": {
             "n_jobs": n_jobs,
             "drain_s_workers1": round(tp_serial_s, 3),
@@ -135,7 +188,8 @@ def test_service_overhead_bounded(tmp_path):
     print()
     print(
         f"submit→done latency: inproc {inproc_s:.2f}s, inline "
-        f"{inline_s:.2f}s ({inline_overhead:.2f}x), "
+        f"{inline_s:.2f}s ({inline_overhead:.2f}x), http {http_s:.2f}s "
+        f"({http_overhead:.2f}x inline, {http_rps:.0f} healthz rps), "
         + ", ".join(f"{n}w {s:.2f}s" for n, s in sorted(fleet.items()))
     )
     print(
@@ -147,4 +201,9 @@ def test_service_overhead_bounded(tmp_path):
         f"service inline path is {inline_overhead:.2f}x the in-process "
         f"flow (limit {MAX_INLINE_OVERHEAD}x) — the durability "
         f"bookkeeping should not dominate a tiny job"
+    )
+    assert http_overhead <= MAX_HTTP_OVERHEAD, (
+        f"HTTP path is {http_overhead:.2f}x the inline service path "
+        f"(limit {MAX_HTTP_OVERHEAD}x) — the wire adapter should not "
+        f"dominate the execution it fronts"
     )

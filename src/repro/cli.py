@@ -648,12 +648,71 @@ def _service_store(args):
     return JobStore(args.store, config=config)
 
 
+def _serve_http(args) -> int:
+    """``repro serve --http``: the asyncio wire API + tenant fleet."""
+    import time
+
+    from .service import HttpServerThread, TenantFleet, TenantManager
+    from .service.jobstore import ServiceConfig
+
+    host, _, port_text = args.http.rpartition(":")
+    host = host or "127.0.0.1"
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"bad --http address {args.http!r}: want HOST:PORT",
+              file=sys.stderr)
+        return 2
+    overrides = {
+        "max_queue_depth": getattr(args, "queue_depth", None),
+        "lease_ttl_s": getattr(args, "lease_ttl", None),
+        "max_shard_attempts": getattr(args, "max_attempts", None),
+    }
+    set_overrides = {k: v for k, v in overrides.items() if v is not None}
+    config = ServiceConfig(**set_overrides) if set_overrides else None
+    tenants = TenantManager(args.store, default_config=config)
+    fleet = TenantFleet(
+        tenants,
+        n_workers=args.workers_count,
+        inline_fallback=not args.no_inline,
+    )
+    with HttpServerThread(tenants, host=host, port=port,
+                          fleet=fleet) as server:
+        print(f"serving HTTP on {server.base_url} "
+              f"(tenant stores under {tenants.tenants_dir}, "
+              f"{args.workers_count} worker(s) per tenant)")
+        try:
+            if args.drain:
+                deadline = (
+                    time.monotonic() + args.timeout
+                    if args.timeout is not None else None
+                )
+                while any(
+                    not job.terminal
+                    for _, store in tenants.open_stores()
+                    for job in store.list_jobs()
+                ):
+                    if deadline is not None and time.monotonic() > deadline:
+                        print("drain timed out", file=sys.stderr)
+                        return 3
+                    time.sleep(args.poll)
+                print("queue drained")
+            else:
+                while True:
+                    time.sleep(1.0)
+        except KeyboardInterrupt:
+            print("stopping")
+    return 0
+
+
 def cmd_serve(args) -> int:
     import time
 
     from .errors import ServiceError
     from .service import ServiceSupervisor
 
+    if args.http:
+        return _serve_http(args)
     store = _service_store(args)
     supervisor = ServiceSupervisor(
         store,
@@ -724,10 +783,44 @@ def cmd_submit(args) -> int:
 
 
 def cmd_jobs(args) -> int:
-    from .service import ServiceClient
+    import json
 
-    client = ServiceClient(_service_store(args))
+    from .errors import ServiceError
+    from .service import JobStore, ServiceClient, validate_tenant_name
+
+    if args.tenant:
+        try:
+            validate_tenant_name(args.tenant)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        root = os.path.join(args.store, "tenants", args.tenant)
+        if not os.path.isdir(root):
+            print(f"no such tenant {args.tenant!r} under "
+                  f"{os.path.join(args.store, 'tenants')}",
+                  file=sys.stderr)
+            return 2
+        client = ServiceClient(JobStore(root))
+    else:
+        client = ServiceClient(_service_store(args))
+    if args.cancel:
+        try:
+            job = client.cancel(args.cancel)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"cancelled {job.id}")
+        return 0
     jobs = client.jobs()
+    if args.as_json:
+        print(json.dumps(
+            {
+                "store": client.store.root,
+                "jobs": [job.to_dict() for job in jobs],
+            },
+            indent=1, sort_keys=True,
+        ))
+        return 0
     if not jobs:
         print("no jobs")
         return 0
@@ -915,6 +1008,11 @@ def main(argv=None) -> int:
         help="run the ATPG job service over a store directory",
     )
     p.add_argument("store", help="job store root directory")
+    p.add_argument("--http", metavar="HOST:PORT", default=None,
+                   help="serve the HTTP/1.1 wire API on this address "
+                        "(port 0 picks a free port); the store becomes "
+                        "a multi-tenant data root with per-tenant "
+                        "stores under <store>/tenants/")
     p.add_argument("--workers", dest="workers_count", type=int, default=2,
                    metavar="N",
                    help="worker processes to supervise; 0 runs jobs "
@@ -963,7 +1061,16 @@ def main(argv=None) -> int:
     p = sub.add_parser(
         "jobs", help="list the jobs (and shard progress) in a store"
     )
-    p.add_argument("store", help="job store root directory")
+    p.add_argument("store", help="job store root directory "
+                                 "(or an HTTP data root with --tenant)")
+    p.add_argument("--tenant", metavar="NAME", default=None,
+                   help="inspect <store>/tenants/NAME — the layout "
+                        "`repro serve --http` manages")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="emit the full job records as JSON instead of "
+                        "the table")
+    p.add_argument("--cancel", metavar="JOB_ID", default=None,
+                   help="cancel a still-queued job instead of listing")
     p.add_argument("--log-level", default="warning",
                    choices=list(LOG_LEVELS))
     p.set_defaults(fn=cmd_jobs)

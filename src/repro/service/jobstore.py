@@ -54,7 +54,19 @@ import uuid
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..soc.design import SocDesign
 
 from ..errors import JobNotFoundError, ServiceBusyError, ServiceError
 from ..obs import current_telemetry
@@ -68,7 +80,8 @@ JOB_RUNNING = "running"
 JOB_DONE = "done"
 JOB_FAILED = "failed"
 JOB_DEAD = "dead"
-JOB_TERMINAL = frozenset({JOB_DONE, JOB_FAILED, JOB_DEAD})
+JOB_CANCELLED = "cancelled"
+JOB_TERMINAL = frozenset({JOB_DONE, JOB_FAILED, JOB_DEAD, JOB_CANCELLED})
 
 #: Shard states.
 SHARD_QUEUED = "queued"
@@ -204,12 +217,44 @@ class JobSpec:
     #: ``{"kill_shard": 1}`` (SIGKILL own process when shard 1 starts)
     #: or ``{"fail_shard": 0}`` (raise TransientError).  Test-only.
     chaos: Optional[Dict[str, int]] = None
+    #: External design: structural Verilog text (the subset
+    #: :mod:`repro.netlist.verilog` round-trips).  When set, ``scale``
+    #: and ``seed`` are ignored — the design is reconstructed from this
+    #: text (see :func:`repro.soc.design_from_netlist`) and the stage
+    #: plan derived from it (:func:`repro.soc.derive_stage_plan`), both
+    #: deterministically, so every worker re-derives the same shards.
+    netlist_verilog: Optional[str] = None
+
+    def build_design_and_plan(
+        self,
+    ) -> Tuple["SocDesign", Sequence[Sequence[str]]]:
+        """``(design, stage_plan)`` this spec runs — the single source
+        shared by :meth:`shard_names`, the worker and the server-side
+        DRC gate, so all three agree bit-for-bit."""
+        if self.netlist_verilog is not None:
+            import io
+
+            from ..netlist.verilog import parse_verilog
+            from ..soc import derive_stage_plan, design_from_netlist
+
+            design = design_from_netlist(
+                parse_verilog(io.StringIO(self.netlist_verilog))
+            )
+            return design, derive_stage_plan(design)
+        from ..core.flow import STAGE_PLAN_TURBO_EAGLE
+        from ..soc import build_turbo_eagle
+
+        design = build_turbo_eagle(scale=self.scale, seed=self.seed)
+        return design, STAGE_PLAN_TURBO_EAGLE
 
     def shard_names(self) -> List[str]:
         """The job's shard keys — the flow's stage/checkpoint keys."""
         from ..core.flow import flow_stage_names
 
-        return flow_stage_names()
+        if self.netlist_verilog is None:
+            return flow_stage_names()
+        _, plan = self.build_design_and_plan()
+        return flow_stage_names(plan)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -219,12 +264,14 @@ class JobSpec:
             "max_patterns": self.max_patterns,
             "telemetry": self.telemetry,
             "chaos": dict(self.chaos) if self.chaos else None,
+            "netlist_verilog": self.netlist_verilog,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
         max_patterns = data.get("max_patterns")
         chaos = data.get("chaos")
+        netlist = data.get("netlist_verilog")
         return cls(
             scale=str(data.get("scale", "tiny")),
             seed=int(data.get("seed", 2007)),
@@ -234,6 +281,7 @@ class JobSpec:
             chaos=None if chaos is None else {
                 str(k): int(v) for k, v in chaos.items()
             },
+            netlist_verilog=None if netlist is None else str(netlist),
         )
 
 
@@ -502,6 +550,34 @@ class JobStore:
             self._write_job(job, now)
             tel.count("service.jobs_submitted")
             tel.gauge_set("service.queue_depth", depth + 1)
+        return job
+
+    def cancel(self, job_id: str, now: Optional[float] = None) -> JobRecord:
+        """``queued → cancelled``; any other state is a loud error.
+
+        Only a job no worker has touched can be cancelled — once a
+        shard is leased the job is ``running`` and the honest answers
+        are "wait" or "let it finish".  Raises
+        :class:`~repro.errors.JobNotFoundError` for unknown ids and
+        :class:`~repro.errors.ServiceError` naming the actual state
+        otherwise, so callers (and the HTTP DELETE route) can tell
+        "already running" from "never existed".  Cancellation is
+        terminal: it frees the job's back-pressure slot immediately.
+        """
+        now = time.time() if now is None else now
+        with self._lock():
+            job = self._read_job(job_id)
+            if job.state != JOB_QUEUED:
+                raise ServiceError(
+                    f"job {job_id} is {job.state!r}, not {JOB_QUEUED!r}; "
+                    f"only queued jobs can be cancelled"
+                )
+            job.state = JOB_CANCELLED
+            job.error = "cancelled before any shard ran"
+            self._write_job(job, now)
+            tel = current_telemetry()
+            tel.count("service.jobs_cancelled")
+            tel.gauge_set("service.queue_depth", self.queue_depth())
         return job
 
     def _next_seq(self) -> int:

@@ -218,9 +218,8 @@ def run_shard_flow(
     """
     from ..context import RunContext
     from ..core.flow import run_noise_tolerant_flow
-    from ..soc import build_turbo_eagle
 
-    design = build_turbo_eagle(scale=spec.scale, seed=spec.seed)
+    design, stage_plan = spec.build_design_and_plan()
     telemetry = None
     if spec.telemetry:
         from ..obs import Telemetry
@@ -239,6 +238,7 @@ def run_shard_flow(
             else None
         ),
         seed=spec.flow_seed,
+        stage_plan=stage_plan,
     )
     if telemetry is not None:
         obs_dir = store.obs_dir(job_id)

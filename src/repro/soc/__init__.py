@@ -10,6 +10,7 @@ clock trees with realistic skew.
 from .floorplan import BlockRegion, Floorplan, make_turbo_eagle_floorplan
 from .clocks import ClockBuffer, ClockDomainSpec, ClockTree, build_clock_tree
 from .design import SocDesign
+from .external import derive_stage_plan, design_from_netlist
 from .generator import SocScale, build_turbo_eagle, scale_preset
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "SocScale",
     "build_clock_tree",
     "build_turbo_eagle",
+    "derive_stage_plan",
+    "design_from_netlist",
     "make_turbo_eagle_floorplan",
     "scale_preset",
 ]

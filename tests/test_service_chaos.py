@@ -140,6 +140,65 @@ def test_hung_worker_lease_expires_and_peer_completes(tmp_path):
             os.kill(stopped, signal.SIGCONT)
 
 
+def test_http_netlist_chaos_job_bit_identical(tmp_path):
+    """The whole wire path under fire: a netlist-upload job submitted
+    over HTTP to a subprocess-worker fleet whose worker is SIGKILLed
+    mid-job still finishes with patterns bit-identical to the
+    single-process flow on the same reconstructed design — and the
+    ``/events`` NDJSON stream arrives strictly in order."""
+    import io
+
+    from repro.netlist.verilog import parse_verilog, write_verilog
+    from repro.service import (
+        HttpServerThread,
+        HttpServiceClient,
+        TenantFleet,
+        TenantManager,
+    )
+    from repro.soc import derive_stage_plan, design_from_netlist
+
+    design = build_turbo_eagle(scale="tiny", seed=2007)
+    buf = io.StringIO()
+    write_verilog(design.netlist, buf)
+    verilog = buf.getvalue()
+
+    tenants = TenantManager(
+        str(tmp_path / "data"),
+        default_config=ServiceConfig(lease_ttl_s=TTL),
+    )
+    fleet = TenantFleet(tenants, n_workers=1)
+    with HttpServerThread(tenants, fleet=fleet) as srv:
+        client = HttpServiceClient(srv.base_url, tenant="chaos")
+        job_id = client.submit(
+            netlist_verilog=verilog, chaos={"kill_shard": 1}
+        )
+        events = list(client.events(job_id, timeout_s=300))
+        job = client.wait(job_id, timeout_s=300)
+        assert job.state == JOB_DONE
+        result = client.result(job_id)
+        metrics = client.metrics()
+
+    # the stream was strictly in order and ended terminal
+    assert [e["seq"] for e in events] == list(range(len(events)))
+    assert events[-1]["terminal"] is True
+    assert events[-1]["state"] == JOB_DONE
+    assert any(e["state"] == "running" for e in events)
+    # the kill left its scar on exactly the shard it hit
+    scars = [f for s in job.shards for f in s.failures]
+    assert any(f["kind"] == "lease_expired" for f in scars)
+    assert job.shards[1].attempts >= 1
+    # bit-identical to the single-process flow on the same
+    # netlist-reconstructed design and derived stage plan
+    rebuilt = design_from_netlist(parse_verilog(io.StringIO(verilog)))
+    ref, _ = run_noise_tolerant_flow(
+        rebuilt, seed=1, stage_plan=derive_stage_plan(rebuilt)
+    )
+    assert np.array_equal(result["matrix"], ref.pattern_set.as_matrix())
+    # the exposition saw the whole story
+    assert "repro_http_requests_total" in metrics
+    assert 'repro_service_tenant_queue_depth{tenant="chaos"}' in metrics
+
+
 def test_worker_killing_shard_is_quarantined_dead(tmp_path):
     """A shard that SIGKILLs every worker that claims it burns its
     attempt budget and the job ends ``dead`` — with the failure log on

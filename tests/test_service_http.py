@@ -1,0 +1,357 @@
+"""Tests of the HTTP front-end: routing, tenancy, gating, streaming.
+
+A real server runs on a loopback socket for every test (no mocks — the
+hand-rolled HTTP/1.1 parsing *is* the subject under test), talked to
+through :class:`HttpServiceClient` and, where the raw status line and
+headers matter (back-pressure, malformed requests), plain
+``http.client`` connections.
+
+The flow-running tests keep to ``n_workers=0`` fleets (the in-process
+serial path) so this file stays in the tier-1 lane; the subprocess +
+SIGKILL variant lives with the other chaos tests.
+"""
+
+from __future__ import annotations
+
+import http.client
+import io
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import run_noise_tolerant_flow
+from repro.errors import (
+    JobNotFoundError,
+    ServiceBusyError,
+    ServiceError,
+)
+from repro.netlist.verilog import parse_verilog, write_verilog
+from repro.service import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_QUEUED,
+    HttpServerThread,
+    HttpServiceClient,
+    JobSpec,
+    ServiceClient,
+    ServiceConfig,
+    TenantFleet,
+    TenantManager,
+    validate_tenant_name,
+)
+from repro.soc import build_turbo_eagle, derive_stage_plan, design_from_netlist
+
+QUEUE_DEPTH = 3
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A live server with *no* fleet — submitted jobs stay queued."""
+    tenants = TenantManager(
+        str(tmp_path / "data"),
+        default_config=ServiceConfig(max_queue_depth=QUEUE_DEPTH),
+    )
+    with HttpServerThread(tenants) as srv:
+        yield srv, tenants
+
+
+def raw_request(base_url, method, path, body=None, headers=None):
+    """One raw request; returns (status, headers-dict, body-bytes)."""
+    host_port = base_url[len("http://"):]
+    conn = http.client.HTTPConnection(host_port, timeout=30)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        resp = conn.getresponse()
+        return (
+            resp.status,
+            {k.lower(): v for k, v in resp.getheaders()},
+            resp.read(),
+        )
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# plumbing: health, routing, request validation
+# ----------------------------------------------------------------------
+class TestPlumbing:
+    def test_healthz(self, server):
+        srv, _ = server
+        health = HttpServiceClient(srv.base_url).healthz()
+        assert health["status"] == "ok"
+        assert "uptime_s" in health
+
+    def test_unknown_route_is_404(self, server):
+        srv, _ = server
+        status, _, body = raw_request(srv.base_url, "GET", "/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["kind"] == "no_route"
+
+    def test_method_not_allowed_is_405(self, server):
+        srv, _ = server
+        status, _, _ = raw_request(
+            srv.base_url, "PUT", "/v1/t0/jobs",
+            body=b"{}", headers={"Content-Type": "application/json"},
+        )
+        assert status == 405
+
+    def test_bad_json_body_is_400(self, server):
+        srv, _ = server
+        status, _, body = raw_request(
+            srv.base_url, "POST", "/v1/t0/jobs",
+            body=b"{not json", headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["kind"] == "bad_json"
+
+    def test_unknown_spec_field_is_400_and_named(self, server):
+        srv, _ = server
+        status, _, body = raw_request(
+            srv.base_url, "POST", "/v1/t0/jobs",
+            body=json.dumps({"scael": "tiny"}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 400
+        err = json.loads(body)["error"]
+        assert err["kind"] == "bad_spec"
+        assert "scael" in err["message"]
+
+    def test_invalid_tenant_name_is_400(self, server):
+        srv, _ = server
+        client = HttpServiceClient(srv.base_url, tenant="NOT-Valid!")
+        with pytest.raises(ServiceError) as err:
+            client.submit(scale="tiny")
+        assert "invalid tenant name" in str(err.value)
+
+    def test_tenant_name_validation(self):
+        assert validate_tenant_name("lab-a_1") == "lab-a_1"
+        for bad in ("", "UPPER", "-lead", "a" * 33, "dot.dot", "a/b"):
+            with pytest.raises(ServiceError):
+                validate_tenant_name(bad)
+
+    def test_unknown_job_is_404(self, server):
+        srv, _ = server
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        with pytest.raises(JobNotFoundError):
+            client.status("j-nope")
+
+
+# ----------------------------------------------------------------------
+# submit / status / cancel over the wire
+# ----------------------------------------------------------------------
+class TestJobsApi:
+    def test_submit_status_list_roundtrip(self, server):
+        srv, tenants = server
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        job_id = client.submit(scale="tiny", seed=9, max_patterns=10)
+        job = client.status(job_id)
+        assert job.state == JOB_QUEUED
+        assert job.spec.seed == 9
+        assert [j.id for j in client.jobs()] == [job_id]
+        # the wire API wrote a perfectly ordinary store on disk
+        assert tenants.store("t0").get(job_id).spec.max_patterns == 10
+
+    def test_cancel_queued_job_then_conflict(self, server):
+        srv, tenants = server
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        job_id = client.submit(scale="tiny")
+        job = client.cancel(job_id)
+        assert job.state == JOB_CANCELLED
+        # cancellation freed the back-pressure slot
+        assert tenants.store("t0").queue_depth() == 0
+        # a second cancel is a structured conflict, not a surprise
+        with pytest.raises(ServiceError) as err:
+            client.cancel(job_id)
+        assert "409" in str(err.value)
+
+    def test_cancel_unknown_job_is_404(self, server):
+        srv, _ = server
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        with pytest.raises(JobNotFoundError):
+            client.cancel("j-nope")
+
+    def test_result_of_unfinished_job_is_404(self, server):
+        srv, _ = server
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        job_id = client.submit(scale="tiny")
+        with pytest.raises(ServiceError) as err:
+            client.result(job_id)
+        assert "no result artefact" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# netlist uploads: DRC-gated server-side
+# ----------------------------------------------------------------------
+class TestNetlistGate:
+    def test_unparseable_netlist_is_422(self, server):
+        srv, _ = server
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        with pytest.raises(ServiceError) as err:
+            client.submit(netlist_verilog="module busted (; endmodule")
+        msg = str(err.value)
+        assert "422" in msg and "netlist rejected" in msg
+
+    def test_placement_free_netlist_is_422(self, server):
+        srv, _ = server
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        verilog = (
+            "module bare (clk_a, d, q);\n"
+            "  input clk_a, d;\n  output q;\n"
+            "  DFFX1 f0 (.D(d), .CK(clk_a), .Q(q));\n"
+            "endmodule\n"
+        )
+        with pytest.raises(ServiceError) as err:
+            client.submit(netlist_verilog=verilog)
+        assert "placement metadata" in str(err.value)
+
+    def test_valid_netlist_is_accepted_with_derived_shards(self, server):
+        srv, _ = server
+        design = build_turbo_eagle(scale="tiny", seed=2007)
+        buf = io.StringIO()
+        write_verilog(design.netlist, buf)
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        job_id = client.submit(netlist_verilog=buf.getvalue())
+        job = client.status(job_id)
+        plan = derive_stage_plan(
+            design_from_netlist(parse_verilog(io.StringIO(buf.getvalue())))
+        )
+        assert len(job.shards) == len(plan)
+        assert job.shards[0].name.startswith("stage0_")
+
+
+# ----------------------------------------------------------------------
+# per-tenant back-pressure (satellite: concurrent 429s)
+# ----------------------------------------------------------------------
+class TestBackPressure:
+    def test_429_carries_retry_after_and_depth(self, server):
+        srv, _ = server
+        client = HttpServiceClient(srv.base_url, tenant="full")
+        for _ in range(QUEUE_DEPTH):
+            client.submit(scale="tiny")
+        status, headers, body = raw_request(
+            srv.base_url, "POST", "/v1/full/jobs",
+            body=json.dumps({"scale": "tiny"}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 429
+        assert int(headers["retry-after"]) >= 1
+        err = json.loads(body)["error"]
+        assert err["kind"] == "busy"
+        assert (err["depth"], err["limit"]) == (QUEUE_DEPTH, QUEUE_DEPTH)
+        # and the typed client surfaces the same thing
+        with pytest.raises(ServiceBusyError):
+            client.submit(scale="tiny")
+
+    def test_concurrent_submits_exactly_depth_accepted(self, server):
+        """N parallel submits against an empty tenant: exactly
+        ``max_queue_depth`` get 201, the rest get 429 + Retry-After,
+        and the store never exceeds the limit."""
+        srv, tenants = server
+        n_clients = QUEUE_DEPTH + 5
+        results = [None] * n_clients
+        barrier = threading.Barrier(n_clients)
+
+        def submit(i):
+            barrier.wait()
+            results[i] = raw_request(
+                srv.base_url, "POST", "/v1/burst/jobs",
+                body=json.dumps({"scale": "tiny", "seed": i}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+
+        threads = [
+            threading.Thread(target=submit, args=(i,))
+            for i in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        statuses = sorted(status for status, _, _ in results)
+        assert statuses == [201] * QUEUE_DEPTH + [429] * 5
+        for status, headers, _ in results:
+            if status == 429:
+                assert "retry-after" in headers
+        assert tenants.store("burst").queue_depth() == QUEUE_DEPTH
+
+    def test_backpressure_is_per_tenant(self, server):
+        srv, _ = server
+        noisy = HttpServiceClient(srv.base_url, tenant="noisy")
+        for _ in range(QUEUE_DEPTH):
+            noisy.submit(scale="tiny")
+        with pytest.raises(ServiceBusyError):
+            noisy.submit(scale="tiny")
+        # the neighbour is unaffected
+        quiet = HttpServiceClient(srv.base_url, tenant="quiet")
+        assert quiet.submit(scale="tiny").startswith("j")
+
+
+# ----------------------------------------------------------------------
+# metrics exposition
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_prometheus_exposition(self, server):
+        srv, _ = server
+        client = HttpServiceClient(srv.base_url, tenant="t0")
+        client.healthz()
+        client.submit(scale="tiny")
+        text = client.metrics()
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'route="/v1/{tenant}/jobs"' in text
+        assert 'repro_service_tenant_queue_depth{tenant="t0"} 1.0' in text
+        assert 'repro_service_tenant_queue_limit{tenant="t0"}' in text
+        assert "repro_http_request_latency_s_bucket" in text
+        # service-layer metrics land in the same registry
+        assert "repro_service_jobs_submitted_total" in text
+
+
+# ----------------------------------------------------------------------
+# end to end: execution, events, bit-identity (inline fleet)
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_http_job_events_and_bit_identity(self, tmp_path):
+        tenants = TenantManager(str(tmp_path / "data"))
+        fleet = TenantFleet(tenants, n_workers=0)
+        with HttpServerThread(tenants, fleet=fleet) as srv:
+            client = HttpServiceClient(srv.base_url, tenant="e2e")
+            job_id = client.submit(scale="tiny", seed=2007, max_patterns=24)
+            events = list(client.events(job_id, timeout_s=300))
+            job = client.wait(job_id, timeout_s=300)
+            assert job.state == JOB_DONE
+            result = client.result(job_id)
+            report = client.report(job_id)
+        # the event stream is a well-formed, in-order NDJSON tail
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        assert events[-1]["terminal"] is True
+        assert events[-1]["state"] == JOB_DONE
+        rank = {"queued": 0, "running": 1, "done": 2}
+        ranks = [rank[e["state"]] for e in events]
+        assert ranks == sorted(ranks)
+        # bit-identical to the single-process flow
+        design = build_turbo_eagle(scale="tiny", seed=2007)
+        ref, _ = run_noise_tolerant_flow(design, seed=1, max_patterns=24)
+        assert np.array_equal(result["matrix"], ref.pattern_set.as_matrix())
+        assert report.status == "completed"
+
+    def test_jobs_cli_tenant_json_and_cancel(self, server, capsys):
+        """``repro jobs --tenant --json`` and ``--cancel`` read and
+        mutate the same stores the wire API manages."""
+        from repro.cli import main
+
+        srv, tenants = server
+        client = HttpServiceClient(srv.base_url, tenant="ops")
+        job_id = client.submit(scale="tiny")
+        data_root = tenants.data_root
+        assert main(["jobs", data_root, "--tenant", "ops", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [j["id"] for j in payload["jobs"]] == [job_id]
+        assert main(
+            ["jobs", data_root, "--tenant", "ops", "--cancel", job_id]
+        ) == 0
+        assert "cancelled" in capsys.readouterr().out
+        assert client.status(job_id).state == JOB_CANCELLED
+        # unknown tenants and bad names are clean CLI errors
+        assert main(["jobs", data_root, "--tenant", "ghost"]) == 2
+        assert main(["jobs", data_root, "--tenant", "NO!"]) == 2
